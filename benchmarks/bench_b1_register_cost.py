@@ -1,0 +1,76 @@
+"""B1 -- per-operation cost of Algorithm 1.
+
+The paper bounds costs asymptotically (read: <= 3 primitives; write:
+<= m+1 loop iterations; audit: linear in new epochs).  This bench
+measures wall time and records the primitive step counts for the three
+operations under a standard contended workload.
+"""
+
+import pytest
+
+from conftest import primitive_steps
+from repro.sim.scheduler import PrioritySchedule
+from repro.workloads.generators import RegisterWorkload, build_register_system
+
+
+def run_contended(m, seed=3):
+    built = build_register_system(
+        RegisterWorkload(
+            num_readers=m,
+            num_writers=2,
+            reads_per_reader=5,
+            writes_per_writer=4,
+            audits_per_auditor=2,
+            seed=seed,
+        )
+    )
+    history = built.run()
+    return history
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_bench_contended_workload(benchmark, m):
+    history = benchmark(run_contended, m)
+    for op_name in ("read", "write", "audit"):
+        stats = primitive_steps(history, name=op_name)
+        benchmark.extra_info[f"{op_name}_avg_steps"] = round(
+            stats["avg_steps"], 2
+        )
+    benchmark.extra_info["m"] = m
+
+
+def test_step_cost_table():
+    """Print the steps/op table (visible with pytest -s)."""
+    from repro.harness.tables import render_table
+
+    rows = []
+    for m in (1, 2, 4, 8, 16):
+        history = run_contended(m)
+        row = {"m": m}
+        for op_name in ("read", "write", "audit"):
+            stats = primitive_steps(history, name=op_name)
+            row[f"{op_name} steps/op"] = round(stats["avg_steps"], 2)
+        rows.append(row)
+        # Reads never exceed 3 primitives regardless of m.
+        read_stats = primitive_steps(history, name="read")
+        assert read_stats["avg_steps"] <= 3.0
+    print()
+    print(render_table(rows))
+
+
+@pytest.mark.parametrize("storm", [1.0, 10.0, 40.0],
+                         ids=["fair", "storm10", "storm40"])
+def test_bench_write_under_reader_storm(benchmark, storm):
+    def once():
+        built = build_register_system(
+            RegisterWorkload(
+                num_readers=8, num_writers=1, reads_per_reader=6,
+                writes_per_writer=4, seed=1,
+            ),
+            schedule=PrioritySchedule({"r": storm, "w": 1.0}, seed=1),
+        )
+        history = built.run()
+        return primitive_steps(history, pid="w0", name="write")
+
+    stats = benchmark(once)
+    benchmark.extra_info["write_avg_steps"] = round(stats["avg_steps"], 2)

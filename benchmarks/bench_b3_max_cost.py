@@ -1,0 +1,55 @@
+"""B3 -- writeMax retry behaviour under read storms (Algorithm 2)."""
+
+import pytest
+
+from conftest import primitive_steps
+from repro.sim.scheduler import PrioritySchedule
+from repro.workloads.generators import (
+    RegisterWorkload,
+    build_max_register_system,
+)
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_bench_write_max_under_storm(benchmark, m):
+    def once():
+        built = build_max_register_system(
+            RegisterWorkload(
+                num_readers=m, num_writers=2, reads_per_reader=6,
+                writes_per_writer=4, seed=2,
+            ),
+            schedule=PrioritySchedule({"r": 20.0, "w": 1.0}, seed=2),
+        )
+        history = built.run()
+        assert history.pending_operations() == []
+        return history
+
+    history = benchmark(once)
+    stats = primitive_steps(history, name="write_max")
+    benchmark.extra_info["write_max_avg_steps"] = round(
+        stats["avg_steps"], 2
+    )
+    benchmark.extra_info["m"] = m
+
+
+def test_write_max_loop_iterations_bounded():
+    """Loop iterations (R reads per writeMax) stay small even under
+    storms: bounded by retries from readers (m per seq) plus the
+    sequence-number helping path."""
+    for m in (2, 4, 8):
+        built = build_max_register_system(
+            RegisterWorkload(
+                num_readers=m, num_writers=1, reads_per_reader=8,
+                writes_per_writer=4, seed=7,
+            ),
+            schedule=PrioritySchedule({"r": 25.0, "w": 1.0}, seed=7),
+        )
+        history = built.run()
+        r_name = built.register.R.name
+        for op in history.complete_operations(name="write_max"):
+            iterations = sum(
+                1
+                for e in op.primitives
+                if e.obj_name == r_name and e.primitive == "read"
+            )
+            assert iterations <= 2 * (m + 2)

@@ -1,0 +1,51 @@
+"""B4 -- auditable snapshot update/scan cost vs component count."""
+
+import pytest
+
+from conftest import primitive_steps
+from repro.workloads.generators import SnapshotWorkload, build_snapshot_system
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_bench_snapshot_components(benchmark, n):
+    def once():
+        built = build_snapshot_system(
+            SnapshotWorkload(
+                components=n, num_scanners=2, updates_per_component=2,
+                scans_per_scanner=2, seed=1,
+            )
+        )
+        return built.run()
+
+    history = benchmark(once)
+    for op_name in ("update", "scan"):
+        stats = primitive_steps(history, name=op_name)
+        benchmark.extra_info[f"{op_name}_avg_steps"] = round(
+            stats["avg_steps"], 2
+        )
+    benchmark.extra_info["components"] = n
+
+
+def test_scan_cost_independent_of_components():
+    """A scan is a single max-register read: <= 3 primitives no matter
+    how many components the snapshot has (the paper's point: the heavy
+    lifting happens in update)."""
+    for n in (2, 4, 8, 16):
+        built = build_snapshot_system(
+            SnapshotWorkload(components=n, seed=0)
+        )
+        history = built.run()
+        stats = primitive_steps(history, name="scan")
+        assert stats["avg_steps"] <= 3.0
+
+
+def test_update_cost_grows_with_components():
+    costs = []
+    for n in (2, 8):
+        built = build_snapshot_system(
+            SnapshotWorkload(components=n, num_scanners=1,
+                             scans_per_scanner=1, seed=0)
+        )
+        history = built.run()
+        costs.append(primitive_steps(history, name="update")["avg_steps"])
+    assert costs[1] > costs[0]  # embedded Afek scans are O(n) collects

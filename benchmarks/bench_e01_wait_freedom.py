@@ -1,0 +1,26 @@
+"""E1 -- wait-freedom (Lemma 2): write loop bounded by m+1 iterations.
+
+Claim check: the E1 driver passes (adversarial interposition achieves
+exactly m+1 iterations, reader storms stay under the bound).
+Timing: one adversarially-interposed write, per reader count.
+"""
+
+import pytest
+
+from repro.harness.experiment import run
+from repro.harness.experiments import _adversarial_write
+
+
+def test_e1_claims_hold():
+    result = run("E1", reader_counts=(1, 2, 4, 8), seeds=range(8))
+    assert result.ok, result.render()
+    for row in result.rows:
+        assert row["adversarial iters"] == row["bound (m+1)"]
+
+
+@pytest.mark.parametrize("m", [1, 4, 16])
+def test_bench_adversarial_write(benchmark, m):
+    iterations = benchmark(_adversarial_write, m)
+    assert iterations == m + 1
+    benchmark.extra_info["loop_iterations"] = iterations
+    benchmark.extra_info["bound"] = m + 1

@@ -1,0 +1,28 @@
+"""E4 -- reads uncompromised by readers (Lemma 7).
+
+Claim check: naive advantage 1.0, Algorithm 1 within statistical noise,
+constructive Lemma 7 pairs byte-identical.
+Timing: one Lemma 7 paired-execution construction + comparison.
+"""
+
+from repro.attacks.curious_reader import (
+    paired_views_identical,
+    run_curious_reader_attack,
+)
+from repro.harness.experiment import run
+
+
+def test_e4_claims_hold():
+    result = run("E4", trials=200, pair_seeds=range(20))
+    assert result.ok, result.render()
+
+
+def test_bench_lemma7_pair(benchmark):
+    assert benchmark(paired_views_identical, 0)
+
+
+def test_bench_curious_trial_algorithm1(benchmark):
+    result = benchmark(
+        run_curious_reader_attack, "algorithm1", 20
+    )
+    benchmark.extra_info["advantage"] = result.advantage

@@ -1,0 +1,19 @@
+"""E5 -- writes uncompromised by readers (Lemma 6).
+
+Claim check: unread write inputs are replaceable without changing any
+reader's view, and readers never observe values beyond their effective
+reads (even with crash injection).
+Timing: one Lemma 6 paired-execution construction + comparison.
+"""
+
+from repro.harness.experiment import run
+from repro.harness.experiments import _lemma6_pair
+
+
+def test_e5_claims_hold():
+    result = run("E5", seeds=range(15), crash_seeds=range(15))
+    assert result.ok, result.render()
+
+
+def test_bench_lemma6_pair(benchmark):
+    assert benchmark(_lemma6_pair, 0, "secret")

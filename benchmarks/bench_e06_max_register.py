@@ -1,0 +1,27 @@
+"""E6 -- max register nonce defence (Section 4, Lemma 38).
+
+Claim check: without nonces the gap attacker is always certain and
+always right; with nonces it is never certain.  Max register executions
+stay exact and monotone.
+Timing: one gap-attack trial per configuration.
+"""
+
+import pytest
+
+from repro.attacks.max_gap import _one_trial
+from repro.harness.experiment import run
+
+
+def test_e6_claims_hold():
+    result = run("E6", trials=80, seeds=range(15))
+    assert result.ok, result.render()
+
+
+@pytest.mark.parametrize("use_nonces", [False, True],
+                         ids=["no-nonce", "nonce"])
+def test_bench_gap_trial(benchmark, use_nonces):
+    trial = benchmark(_one_trial, use_nonces, True, 17)
+    if not use_nonces:
+        assert trial.certain and trial.outcome.correct
+    else:
+        assert not trial.certain

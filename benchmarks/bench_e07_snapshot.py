@@ -1,0 +1,29 @@
+"""E7 -- auditable snapshot (Theorem 12).
+
+Claim check: snapshot executions are linearizable with exact (lifted)
+audits under both substrates.
+Timing: one snapshot workload per substrate.
+"""
+
+import pytest
+
+from repro.harness.experiment import run
+from repro.workloads.generators import SnapshotWorkload, build_snapshot_system
+
+
+def test_e7_claims_hold():
+    result = run("E7", seeds=range(15))
+    assert result.ok, result.render()
+
+
+@pytest.mark.parametrize("substrate", ["afek", "atomic"])
+def test_bench_snapshot_workload(benchmark, substrate):
+    def once():
+        built = build_snapshot_system(
+            SnapshotWorkload(seed=4), snapshot_substrate=substrate
+        )
+        return built.run()
+
+    history = benchmark(once)
+    benchmark.extra_info["primitives"] = len(history.primitive_events())
+    assert history.pending_operations() == []

@@ -1,0 +1,36 @@
+"""E9 -- consensus from an auditable register ([5]).
+
+Claim check: agreement, validity and termination over random schedules.
+Timing: one full two-process consensus under a random schedule.
+"""
+
+from repro.harness.experiment import run
+from repro.sim.process import Op
+from repro.sim.runner import Simulation
+from repro.sim.scheduler import RandomSchedule
+from repro.substrates.consensus import AuditableConsensus
+
+
+def test_e9_claims_hold():
+    result = run("E9", seeds=range(60))
+    assert result.ok, result.render()
+
+
+def test_bench_consensus_round(benchmark):
+    def once():
+        sim = Simulation(schedule=RandomSchedule(13))
+        cons = AuditableConsensus()
+        reader_propose = cons.reader_propose(sim.spawn("reader"))
+        writer_propose = cons.writer_propose(sim.spawn("writer"))
+        sim.add_program("reader", [Op("propose", reader_propose, ("R",))])
+        sim.add_program("writer", [Op("propose", writer_propose, ("W",))])
+        history = sim.run()
+        decisions = [
+            op.result
+            for op in history.complete_operations(name="propose")
+        ]
+        assert decisions[0] == decisions[1]
+        return decisions[0]
+
+    decision = benchmark(once)
+    assert decision in ("R", "W")

@@ -1,0 +1,51 @@
+"""E10 -- Cogo-Bessani baseline: resilience bound n >= 4f+1 [8, 10].
+
+Claim check: reads available and audited at n >= 4f+1, unavailable
+below.
+Timing: one write+read+audit round at (f=1, n=5), and the share
+arithmetic itself.
+"""
+
+import random
+
+from repro.baselines.cogo_bessani import (
+    CogoBessaniRegister,
+    make_shares,
+    reconstruct,
+)
+from repro.harness.experiment import run
+from repro.sim.runner import Simulation
+
+
+def test_e10_claims_hold():
+    result = run("E10", trials=8)
+    assert result.ok, result.render()
+
+
+def test_bench_replicated_round(benchmark):
+    def once():
+        sim = Simulation()
+        reg = CogoBessaniRegister(n=5, f=1, seed=0)
+        reg.corrupt_servers([0])
+        writer = reg.writer(sim.spawn("w"))
+        reader = reg.reader(sim.spawn("r"))
+        auditor = reg.auditor(sim.spawn("a"))
+        sim.add_program("w", [writer.write_op(42)])
+        sim.run_process("w")
+        sim.add_program("r", [reader.read_op()])
+        sim.run_process("r")
+        sim.add_program("a", [auditor.audit_op()])
+        sim.run_process("a")
+        return sim.history.operations(name="read")[-1].result
+
+    assert benchmark(once) == 42
+
+
+def test_bench_share_roundtrip(benchmark):
+    rng = random.Random(0)
+
+    def once():
+        shares = make_shares(123456789, 9, 5, rng)
+        return reconstruct(shares[:5])
+
+    assert benchmark(once) == 123456789

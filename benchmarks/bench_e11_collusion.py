@@ -1,0 +1,19 @@
+"""E11 -- colluding readers (Section 6 open question).
+
+Claim check: a two-reader coalition detects the victim with advantage
+1.0 while a single reader stays blind.
+Timing: one collusion trial.
+"""
+
+from repro.attacks.collusion import _one_trial
+from repro.harness.experiment import run
+
+
+def test_e11_claims_hold():
+    result = run("E11", trials=60)
+    assert result.ok, result.render()
+
+
+def test_bench_collusion_trial(benchmark):
+    outcome = benchmark(_one_trial, True, 5)
+    assert outcome.correct

@@ -1,0 +1,19 @@
+"""E12 -- curious writers audit de facto (Section 6 open question).
+
+Claim check: a writer following its prescribed code distinguishes
+whether the victim read, with advantage 1.0.
+Timing: one curious-writer trial.
+"""
+
+from repro.attacks.curious_writer import _one_trial
+from repro.harness.experiment import run
+
+
+def test_e12_claims_hold():
+    result = run("E12", trials=60)
+    assert result.ok, result.render()
+
+
+def test_bench_curious_writer_trial(benchmark):
+    outcome = benchmark(_one_trial, True, 5)
+    assert outcome.correct

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_eXX`` file pairs a *claim check* (the experiment driver of
+:mod:`repro.harness.experiments` with moderate parameters, asserted to
+pass) with a *timing benchmark* of the code path the experiment
+exercises.  The B-series files measure costs the paper only bounds
+asymptotically; their step counts are attached to the benchmark's
+``extra_info`` so they appear in ``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import repro.harness.experiments  # noqa: F401 -- registers E1..E10
+
+
+def primitive_steps(history, pid=None, name=None):
+    """Total primitives, and per-op averages, for reporting."""
+    ops = [
+        op
+        for op in history.complete_operations(name=name)
+        if pid is None or op.pid == pid
+    ]
+    if not ops:
+        return {"ops": 0, "total_steps": 0, "avg_steps": 0.0}
+    total = sum(len(op.primitives) for op in ops)
+    return {
+        "ops": len(ops),
+        "total_steps": total,
+        "avg_steps": total / len(ops),
+    }

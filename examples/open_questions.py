@@ -1,0 +1,54 @@
+"""Where the guarantees end: the paper's Section 6 open questions, live.
+
+Theorem 8 protects against a *single* honest-but-curious *reader*.
+This example demonstrates the two boundaries the paper itself points
+at:
+
+1. **Colluding readers** -- two readers pool the tracking words of
+   their fetch&xors; the one-time pad (one observation per reader!)
+   cancels, exposing a third reader's access.
+2. **Curious writers** -- a writer must hold the pads to archive reader
+   sets, so its prescribed code performs a de-facto audit.
+
+Run:  python examples/open_questions.py
+"""
+
+from repro.attacks.collusion import run_collusion_attack
+from repro.attacks.curious_writer import run_curious_writer_attack
+from repro.harness.tables import render_table
+
+
+def main() -> None:
+    collusion = run_collusion_attack(trials=100)
+    writer = run_curious_writer_attack(trials=100)
+
+    print("What each observer learns about a victim reader's access")
+    print("(advantage 0 = blind, 1 = certain; 100 trials each):\n")
+    print(render_table([
+        {
+            "observer": "one curious reader (Lemma 7 guarantee)",
+            "advantage": collusion.single_reader_advantage,
+            "within the paper's model": "yes -- protected",
+        },
+        {
+            "observer": "coalition of two readers",
+            "advantage": collusion.coalition_advantage,
+            "within the paper's model": "no -- open question",
+        },
+        {
+            "observer": "a writer (holds the one-time pads)",
+            "advantage": writer.writer_advantage,
+            "within the paper's model": "no -- open question",
+        },
+    ]))
+    print()
+    print("Why: the pad is single-use per OBSERVER (Lemma 17); a")
+    print("coalition holds two observations of one mask, and writers")
+    print("hold the masks themselves (Alg. 1 line 13 deciphers reader")
+    print("sets when archiving).  Closing these gaps -- per-reader pads,")
+    print("writer-blind archiving -- is exactly what the paper leaves")
+    print("open for future work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim enables the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+(or simply ``python setup.py develop``).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

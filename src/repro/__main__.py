@@ -1,0 +1,65 @@
+"""Command-line entry point.
+
+    python -m repro                     # overview
+    python -m repro experiments [E...]  # run experiment drivers
+    python -m repro attacks             # run the attack gallery
+    python -m repro version
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _overview() -> int:
+    from repro import __version__
+    from repro.harness.experiment import registry
+    import repro.harness.experiments  # noqa: F401 -- registers drivers
+
+    print(f"repro {__version__} -- Auditing without Leaks Despite "
+          "Curiosity (PODC 2025) reproduction")
+    print()
+    print("commands:")
+    print("  python -m repro experiments [names]   run experiment drivers")
+    print("  python -m repro attacks               run the attack gallery")
+    print("  python -m repro version               print the version")
+    print()
+    print("registered experiments:", " ".join(sorted(registry())))
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        return _overview()
+    command, *rest = argv
+    if command == "version":
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    if command == "experiments":
+        from repro.harness.experiments import main as experiments_main
+
+        return experiments_main(rest)
+    if command == "attacks":
+        import runpy
+        import pathlib
+
+        demo = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples"
+            / "curious_reader_demo.py"
+        )
+        if demo.exists():
+            runpy.run_path(str(demo), run_name="__main__")
+            return 0
+        print("examples/curious_reader_demo.py not found", file=sys.stderr)
+        return 1
+    print(f"unknown command {command!r}", file=sys.stderr)
+    _overview()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

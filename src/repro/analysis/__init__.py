@@ -1,0 +1,111 @@
+"""Analysis tooling: mechanical checks of the paper's claims.
+
+- :mod:`repro.analysis.linearizability` -- Wing-Gong linearizability
+  checking of recorded histories against sequential specifications.
+- :mod:`repro.analysis.specs` -- sequential specifications (register,
+  max register, snapshot, counter, and their auditable variants).
+- :mod:`repro.analysis.effectiveness` -- detects *effective* reads
+  (Definition 2) from traces via the characterisation of Claim 4/35.
+- :mod:`repro.analysis.audit_checks` -- audit exactness oracle: an audit
+  must report exactly the effective reads linearized before it.
+- :mod:`repro.analysis.phases` -- validates the E/D phase structure of
+  executions (Lemma 1 / Lemma 25), per-reader fetch&xor uniqueness
+  (Lemma 17) and the (seq, value) walk (Lemma 18 / Lemma 27).
+- :mod:`repro.analysis.leakage` -- honest-but-curious leakage: paired
+  indistinguishable executions (Lemmas 6, 7, 38) and empirical attacker
+  advantage.
+"""
+
+from repro.analysis.audit_checks import (
+    AuditViolation,
+    check_audit_exactness,
+    check_audit_monotone,
+    expected_audit_set,
+)
+from repro.analysis.effectiveness import (
+    EffectiveRead,
+    classify_read,
+    effective_reads,
+)
+from repro.analysis.exhaustive import (
+    ExplorationBudgetExceeded,
+    ExplorationReport,
+    count_interleavings,
+    explore,
+)
+from repro.analysis.leakage import (
+    AttackOutcome,
+    empirical_advantage,
+    first_divergence,
+    membership_guess,
+    observed_values,
+    projections_equal,
+    success_rate,
+    tracking_bits_seen,
+)
+from repro.analysis.linearizability import (
+    PENDING,
+    LinearizabilityChecker,
+    LinearizationResult,
+    SeqSpec,
+    check_history,
+)
+from repro.analysis.phases import (
+    PhaseViolation,
+    check_fetch_xor_uniqueness,
+    check_phase_structure,
+    check_value_sequence,
+    phase_intervals,
+)
+from repro.analysis.specs import (
+    auditable_max_register_spec,
+    auditable_register_spec,
+    counter_object_spec,
+    max_register_spec,
+    register_spec,
+    snapshot_spec,
+    tag_ops_with_pid,
+    tag_reads,
+    versioned_spec,
+)
+
+__all__ = [
+    "PENDING",
+    "AttackOutcome",
+    "AuditViolation",
+    "EffectiveRead",
+    "ExplorationBudgetExceeded",
+    "ExplorationReport",
+    "LinearizabilityChecker",
+    "LinearizationResult",
+    "PhaseViolation",
+    "SeqSpec",
+    "auditable_max_register_spec",
+    "auditable_register_spec",
+    "check_audit_exactness",
+    "check_audit_monotone",
+    "check_fetch_xor_uniqueness",
+    "check_history",
+    "check_phase_structure",
+    "check_value_sequence",
+    "classify_read",
+    "count_interleavings",
+    "counter_object_spec",
+    "effective_reads",
+    "explore",
+    "empirical_advantage",
+    "expected_audit_set",
+    "first_divergence",
+    "max_register_spec",
+    "membership_guess",
+    "observed_values",
+    "phase_intervals",
+    "projections_equal",
+    "register_spec",
+    "snapshot_spec",
+    "success_rate",
+    "tag_ops_with_pid",
+    "tag_reads",
+    "tracking_bits_seen",
+    "versioned_spec",
+]

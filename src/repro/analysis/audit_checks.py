@@ -1,0 +1,101 @@
+"""Audit exactness: the paper's central auditability guarantee.
+
+Theorem 8 (and Theorem 40): an audit reports ``(j, v)`` *iff* ``p_j``
+has a ``v``-effective read linearized before the audit.  Because a
+direct read is linearized at its ``fetch&xor`` on ``R``, an audit at its
+``read`` of ``R``, and silent reads only duplicate the pair of an
+earlier direct read by the same reader, the expected audit set has a
+purely syntactic oracle:
+
+    expected(audit) = { (j, decode(w.val)) :
+                        some reader applied fetch&xor(2^j) to R,
+                        returning triple w,
+                        before the audit's read of R }
+
+This module computes that oracle from the trace and compares it with
+every completed audit's response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.sim.history import History, OperationRecord
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    audit_pid: str
+    audit_op_id: int
+    missing: frozenset  # effective reads the audit failed to report
+    extra: frozenset  # reported pairs with no matching effective read
+
+    def __str__(self) -> str:
+        return (
+            f"audit by {self.audit_pid} (op {self.audit_op_id}): "
+            f"missing={set(self.missing)} extra={set(self.extra)}"
+        )
+
+
+def _audit_linearization_index(
+    op: OperationRecord, r_name: str
+) -> Optional[int]:
+    """The audit's linearization point: its read of ``R`` (Alg.1 l.17)."""
+    for event in op.primitives:
+        if event.obj_name == r_name and event.primitive == "read":
+            return event.index
+    return None
+
+
+def expected_audit_set(
+    history: History, register, before_index: int
+) -> Set[Tuple[int, Any]]:
+    """Pairs of effective reads linearized before ``before_index``."""
+    pairs: Set[Tuple[int, Any]] = set()
+    for event in history.primitive_events(
+        obj_name=register.R.name, primitive="fetch_xor"
+    ):
+        if event.index < before_index:
+            j = event.args[0].bit_length() - 1
+            pairs.add((j, register._decode_value(event.result.val)))
+    return pairs
+
+
+def check_audit_exactness(
+    history: History, register
+) -> List[AuditViolation]:
+    """Compare each completed audit against the syntactic oracle."""
+    violations: List[AuditViolation] = []
+    r_name = register.R.name
+    for op in history.complete_operations(name="audit"):
+        lin = _audit_linearization_index(op, r_name)
+        if lin is None:
+            continue  # audit of a different object
+        expected = expected_audit_set(history, register, lin)
+        reported = set(op.result)
+        if expected != reported:
+            violations.append(
+                AuditViolation(
+                    audit_pid=op.pid,
+                    audit_op_id=op.op_id,
+                    missing=frozenset(expected - reported),
+                    extra=frozenset(reported - expected),
+                )
+            )
+    return violations
+
+
+def check_audit_monotone(history: History) -> List[str]:
+    """Per-auditor audit responses must be non-decreasing sets."""
+    problems: List[str] = []
+    latest: dict = {}
+    for op in history.complete_operations(name="audit"):
+        previous = latest.get(op.pid, frozenset())
+        current = frozenset(op.result)
+        if not previous <= current:
+            problems.append(
+                f"audit by {op.pid} shrank: lost {set(previous - current)}"
+            )
+        latest[op.pid] = current
+    return problems

@@ -1,0 +1,135 @@
+"""Detecting *effective* reads (Definition 2) from traces.
+
+Claim 4 (and Claim 35 for the max register) characterises effectiveness
+syntactically: a read operation by ``p_j`` is effective iff it completed,
+or it is pending and either
+
+1. it read ``x = prev_sn`` from ``SN`` (a *silent* read: the return
+   value is the previously read ``prev_val``), or
+2. it applied a ``fetch&xor`` to ``R`` (a *direct* read: the return
+   value is the value field of the fetched triple).
+
+This module replays each reader's primitive events to reconstruct its
+``prev_sn``/``prev_val`` local state and classifies every read
+operation.  The classification is purely a function of the reader's own
+events -- effectiveness is a local property -- so it applies equally to
+complete and pending (e.g. crashed) operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.sim.history import History, OperationRecord
+
+
+@dataclass(frozen=True)
+class EffectiveRead:
+    """An effective read: who, what, and the step it became effective."""
+
+    pid: str
+    op_id: int
+    reader_index: int
+    value: Any
+    effective_index: int  # global event index of the effectiveness step
+    kind: str  # "silent" or "direct"
+    complete: bool
+
+
+def classify_read(
+    op: OperationRecord,
+    prev_sn: int,
+    prev_val: Any,
+    r_name: str,
+    sn_name: str,
+    decode,
+) -> Optional[dict]:
+    """Classify one read given the reader's state before it.
+
+    Returns None when the read is unclassified (not effective), else a
+    dict with kind, value, effective event index and the reader's new
+    (prev_sn, prev_val).
+    """
+    sn_read = None
+    for event in op.primitives:
+        if event.obj_name == sn_name and event.primitive == "read":
+            sn_read = event
+            break
+    if sn_read is None:
+        return None  # crashed before its first primitive
+    if sn_read.result == prev_sn:
+        return {
+            "kind": "silent",
+            "value": prev_val,
+            "index": sn_read.index,
+            "prev_sn": prev_sn,
+            "prev_val": prev_val,
+        }
+    for event in op.primitives:
+        if event.obj_name == r_name and event.primitive == "fetch_xor":
+            word = event.result
+            value = decode(word.val)
+            return {
+                "kind": "direct",
+                "value": value,
+                "index": event.index,
+                "prev_sn": word.seq,
+                "prev_val": value,
+            }
+    return None  # read SN with a new value but crashed before fetch&xor
+
+
+def effective_reads(history: History, register) -> List[EffectiveRead]:
+    """All effective reads on ``register`` in ``history``.
+
+    ``register`` is an :class:`~repro.core.AuditableRegister` (or max
+    register); its base-object names identify the relevant primitives
+    and ``_decode_value`` strips nonces.
+    """
+    r_name = register.R.name
+    sn_name = register.SN.name
+    decode = register._decode_value
+    results: List[EffectiveRead] = []
+    # Reader indices are recovered from fetch&xor masks; silent reads
+    # inherit the index from the reader's preceding direct read.
+    state: Dict[str, dict] = {}
+    for op in history.operations(name="read"):
+        touches = any(
+            e.obj_name in (r_name, sn_name) for e in op.primitives
+        )
+        if not touches and op.primitives:
+            continue  # a read on some other object
+        st = state.setdefault(
+            op.pid, {"prev_sn": -1, "prev_val": register.initial, "index": None}
+        )
+        verdict = classify_read(
+            op, st["prev_sn"], st["prev_val"], r_name, sn_name, decode
+        )
+        if verdict is None:
+            continue
+        if verdict["kind"] == "direct":
+            for event in op.primitives:
+                if event.obj_name == r_name and event.primitive == "fetch_xor":
+                    mask = event.args[0]
+                    st["index"] = mask.bit_length() - 1
+                    break
+        st["prev_sn"] = verdict["prev_sn"]
+        st["prev_val"] = verdict["prev_val"]
+        if st["index"] is None:
+            # A silent read before any direct read can only return the
+            # initial value with prev_sn == -1; it cannot occur because
+            # SN starts at 0 != -1.  Guard anyway.
+            continue
+        results.append(
+            EffectiveRead(
+                pid=op.pid,
+                op_id=op.op_id,
+                reader_index=st["index"],
+                value=register._decode_value(verdict["value"]),
+                effective_index=verdict["index"],
+                kind=verdict["kind"],
+                complete=op.is_complete,
+            )
+        )
+    return results

@@ -1,0 +1,138 @@
+"""Wing-Gong linearizability checking.
+
+Given the operations recorded in a history and a sequential
+specification, search for a *linearization* (Definition 1): a sequential
+order containing all complete operations and a subset of the pending
+ones, extending the real-time precedence order, and conforming to the
+spec.
+
+The search is exponential in the worst case but histories checked in the
+experiments are small (tens of operations with bounded concurrency);
+memoisation on (set of linearized operations, spec state) keeps it fast
+in practice.
+
+Pending operations never observed a response; the checker may either
+drop them or linearize them with *any* result the spec allows
+(``result=PENDING``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.history import OperationRecord
+
+
+class _Pending:
+    def __repr__(self) -> str:
+        return "<pending>"
+
+
+PENDING = _Pending()
+
+
+@dataclass(frozen=True)
+class SeqSpec:
+    """A sequential specification.
+
+    ``apply(state, name, args, result)`` returns the successor state if
+    the operation with the given result is legal in ``state``, else
+    ``None``.  When ``result is PENDING`` the operation never returned:
+    the spec should accept it with any legal return value (for total
+    operations this means: accept, return the successor state for the
+    canonical result).
+
+    States must be hashable (used as memoisation keys).
+    """
+
+    name: str
+    initial: Any
+    apply: Callable[[Any, str, Tuple[Any, ...], Any], Optional[Any]]
+
+
+@dataclass
+class LinearizationResult:
+    ok: bool
+    order: Optional[List[OperationRecord]] = None
+    explored: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class LinearizabilityChecker:
+    """Checks one object's history against a sequential spec."""
+
+    def __init__(self, spec: SeqSpec, max_nodes: int = 2_000_000) -> None:
+        self.spec = spec
+        self.max_nodes = max_nodes
+
+    def check(
+        self, operations: Sequence[OperationRecord]
+    ) -> LinearizationResult:
+        ops = list(operations)
+        n = len(ops)
+        if n == 0:
+            return LinearizationResult(True, [])
+        # Precompute the predecessor sets under real-time order.
+        preds: List[Set[int]] = [set() for _ in range(n)]
+        for i, a in enumerate(ops):
+            for j, b in enumerate(ops):
+                if i != j and a.precedes(b):
+                    preds[j].add(i)
+        complete = [i for i, op in enumerate(ops) if op.is_complete]
+        explored = 0
+        seen: Set[Tuple[frozenset, Any]] = set()
+
+        # Depth-first search over (linearized set, spec state).
+        # Complete ops must all be linearized; pending ops are optional
+        # but, once every complete op is placed, we succeed immediately
+        # (remaining pending ops are simply dropped).
+        def eligible(done: Set[int]) -> List[int]:
+            return [
+                i
+                for i in range(n)
+                if i not in done and preds[i] <= done
+            ]
+
+        stack: List[Tuple[frozenset, Any, List[int]]] = []
+        initial_key = (frozenset(), self.spec.initial)
+        seen.add(self._key(frozenset(), self.spec.initial))
+        stack.append((frozenset(), self.spec.initial, []))
+        while stack:
+            done, state, order = stack.pop()
+            explored += 1
+            if explored > self.max_nodes:
+                raise RuntimeError(
+                    f"linearizability search exceeded {self.max_nodes} "
+                    "nodes; reduce history size"
+                )
+            if all(i in done for i in complete):
+                return LinearizationResult(
+                    True, [ops[i] for i in order], explored
+                )
+            for i in eligible(set(done)):
+                op = ops[i]
+                result = op.result if op.is_complete else PENDING
+                new_state = self.spec.apply(state, op.name, op.args, result)
+                if new_state is None:
+                    continue
+                new_done = done | {i}
+                key = self._key(new_done, new_state)
+                if key in seen:
+                    continue
+                seen.add(key)
+                stack.append((new_done, new_state, order + [i]))
+        return LinearizationResult(False, None, explored)
+
+    @staticmethod
+    def _key(done: frozenset, state: Any) -> Tuple:
+        return (done, state)
+
+
+def check_history(
+    operations: Sequence[OperationRecord], spec: SeqSpec
+) -> LinearizationResult:
+    """Convenience wrapper."""
+    return LinearizabilityChecker(spec).check(operations)

@@ -1,0 +1,151 @@
+"""Structural invariants of executions of Algorithms 1 and 2.
+
+- Lemma 1 / Lemma 25 (phase structure): the successive values of the
+  pair ``(R.seq, SN)`` are ``(0,0), (1,0), (1,1), (2,1), (2,2), ...`` --
+  executions alternate between *E* phases (equal) and *D* phases
+  (R.seq = SN + 1).
+- Lemma 17: a reader applies at most one fetch&xor to ``R`` per
+  sequence number (the fetched sequence numbers strictly increase).
+- Lemma 18 / Lemma 27: ``(R.seq, R.val)`` walks ``(0,v0), (1,v1), ...``
+  with sequence numbers incrementing by exactly one; for the max
+  register the values are strictly increasing.
+
+All checks replay shadow state from the recorded primitive events, so
+they validate the *actual* execution rather than re-deriving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.sim.history import History
+
+
+@dataclass(frozen=True)
+class PhaseViolation:
+    index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"@{self.index}: {self.message}"
+
+
+def _replay_pairs(
+    history: History, register
+) -> List[Tuple[int, int, int]]:
+    """Reconstruct the sequence of (event index, R.seq, SN) after every
+    change to either field."""
+    r_name = register.R.name
+    sn_name = register.SN.name
+    r_seq = 0
+    sn = 0
+    out: List[Tuple[int, int, int]] = [(-1, 0, 0)]
+    for event in history.primitive_events():
+        if event.obj_name == r_name and event.primitive == "compare_and_swap":
+            if event.result:
+                new_word = event.args[1]
+                if new_word.seq != r_seq:
+                    r_seq = new_word.seq
+                    out.append((event.index, r_seq, sn))
+        elif event.obj_name == sn_name and event.primitive == "compare_and_swap":
+            if event.result:
+                if event.args[1] != sn:
+                    sn = event.args[1]
+                    out.append((event.index, r_seq, sn))
+    return out
+
+
+def check_phase_structure(history: History, register) -> List[PhaseViolation]:
+    """Lemma 1 / Lemma 25: validate the (R.seq, SN) walk."""
+    violations: List[PhaseViolation] = []
+    pairs = _replay_pairs(history, register)
+    for (i0, rs0, sn0), (i1, rs1, sn1) in zip(pairs, pairs[1:]):
+        legal = (rs1 == rs0 + 1 and sn1 == sn0 and rs0 == sn0) or (
+            rs1 == rs0 and sn1 == sn0 + 1 and rs0 == sn0 + 1
+        )
+        if not legal:
+            violations.append(
+                PhaseViolation(
+                    i1,
+                    f"illegal (R.seq, SN) transition "
+                    f"({rs0},{sn0}) -> ({rs1},{sn1})",
+                )
+            )
+    return violations
+
+
+def check_fetch_xor_uniqueness(
+    history: History, register
+) -> List[PhaseViolation]:
+    """Lemma 17: per reader, fetched sequence numbers strictly increase."""
+    violations: List[PhaseViolation] = []
+    last_seq: dict = {}
+    for event in history.primitive_events(
+        obj_name=register.R.name, primitive="fetch_xor"
+    ):
+        seq = event.result.seq
+        previous = last_seq.get(event.pid)
+        if previous is not None and seq <= previous:
+            violations.append(
+                PhaseViolation(
+                    event.index,
+                    f"{event.pid} fetched seq {seq} after seq {previous} "
+                    "(two fetch&xor under one sequence number)",
+                )
+            )
+        last_seq[event.pid] = seq
+    return violations
+
+
+def check_value_sequence(
+    history: History, register, monotone: bool = False
+) -> List[PhaseViolation]:
+    """Lemma 18 / Lemma 27: (R.seq, R.val) walks (0,v0),(1,v1),...
+
+    With ``monotone=True`` additionally requires strictly increasing
+    values (the max register, Invariant 26).
+    """
+    violations: List[PhaseViolation] = []
+    current = (0, register.initial)
+    for event in history.primitive_events(
+        obj_name=register.R.name, primitive="compare_and_swap"
+    ):
+        if not event.result:
+            continue
+        old, new = event.args
+        if new.seq != current[0] + 1:
+            violations.append(
+                PhaseViolation(
+                    event.index,
+                    f"R.seq jumped {current[0]} -> {new.seq}",
+                )
+            )
+        if monotone and not new.val > old.val:
+            violations.append(
+                PhaseViolation(
+                    event.index,
+                    f"R.val not increasing: {old.val!r} -> {new.val!r}",
+                )
+            )
+        current = (new.seq, new.val)
+    return violations
+
+
+def phase_intervals(
+    history: History, register
+) -> List[Tuple[str, int, int, int]]:
+    """The E/D phase decomposition: (kind, seq, start index, end index).
+
+    ``kind`` is "E" (R.seq == SN == seq) or "D" (R.seq == seq == SN+1);
+    the final phase ends at the last event index.
+    """
+    pairs = _replay_pairs(history, register)
+    intervals: List[Tuple[str, int, int, int]] = []
+    end_of_log = history.length
+    for k, (idx, rs, sn) in enumerate(pairs):
+        start = idx + 1 if idx >= 0 else 0
+        end = pairs[k + 1][0] if k + 1 < len(pairs) else end_of_log
+        kind = "E" if rs == sn else "D"
+        intervals.append((kind, rs, start, end))
+    return intervals

@@ -1,0 +1,217 @@
+"""Sequential specifications for the linearizability checker.
+
+Each factory returns a :class:`~repro.analysis.linearizability.SeqSpec`.
+The auditable specs implement the paper's sequential specification of an
+auditable object: a pair ``(j, v)`` appears in an audit's response *iff*
+a read by ``p_j`` returning ``v`` precedes the audit (accuracy +
+completeness).
+
+Reader identity: histories record ``read()`` with empty args, but the
+auditable specs must know which reader performed each read.  Callers tag
+operations with their pid first (:func:`tag_reads` /
+:func:`tag_ops_with_pid`).
+
+Spec states are hashable tuples so the checker can memoise on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from repro.analysis.linearizability import PENDING, SeqSpec
+
+
+def register_spec(initial: Any, name: str = "register") -> SeqSpec:
+    """Plain read/write register: a read returns the latest write."""
+
+    def apply(state, op_name, args, result):
+        if op_name == "write":
+            return args[0]
+        if op_name == "read":
+            if result is PENDING or result == state:
+                return state
+            return None
+        return None
+
+    return SeqSpec(name, initial, apply)
+
+
+def max_register_spec(initial: Any, name: str = "max_register") -> SeqSpec:
+    """Max register: a read returns the largest value written so far."""
+
+    def apply(state, op_name, args, result):
+        if op_name in ("write_max", "writeMax"):
+            return max(state, args[0])
+        if op_name == "read":
+            if result is PENDING or result == state:
+                return state
+            return None
+        return None
+
+    return SeqSpec(name, initial, apply)
+
+
+def counter_object_spec(name: str = "counter") -> SeqSpec:
+    """Counter: update(d) adds d, read returns the running total."""
+
+    def apply(state, op_name, args, result):
+        if op_name == "update":
+            return state + args[0]
+        if op_name == "read":
+            if result is PENDING or result == state:
+                return state
+            return None
+        return None
+
+    return SeqSpec(name, 0, apply)
+
+
+def auditable_register_spec(
+    initial: Any,
+    reader_index: Dict[str, int],
+    name: str = "auditable_register",
+) -> SeqSpec:
+    """Auditable register: state is ``(value, frozenset((j, v)))``.
+
+    Reads must be tagged with their pid (:func:`tag_reads`); audits'
+    results must equal the set of pairs of linearized preceding reads.
+    """
+
+    def apply(state, op_name, args, result):
+        value, pairs = state
+        if op_name == "write":
+            return (args[0], pairs)
+        if op_name == "read":
+            if result is not PENDING and result != value:
+                return None
+            j = reader_index[args[0]]
+            return (value, pairs | {(j, value)})
+        if op_name == "audit":
+            if result is PENDING or result == pairs:
+                return state
+            return None
+        return None
+
+    return SeqSpec(name, (initial, frozenset()), apply)
+
+
+def auditable_max_register_spec(
+    initial: Any,
+    reader_index: Dict[str, int],
+    name: str = "auditable_max_register",
+) -> SeqSpec:
+    """Auditable max register: like the register spec but monotone."""
+
+    def apply(state, op_name, args, result):
+        value, pairs = state
+        if op_name in ("write_max", "writeMax"):
+            return (max(value, args[0]), pairs)
+        if op_name == "read":
+            if result is not PENDING and result != value:
+                return None
+            j = reader_index[args[0]]
+            return (value, pairs | {(j, value)})
+        if op_name == "audit":
+            if result is PENDING or result == pairs:
+                return state
+            return None
+        return None
+
+    return SeqSpec(name, (initial, frozenset()), apply)
+
+
+def snapshot_spec(
+    components: int,
+    initial: Any,
+    updater_index: Dict[str, int],
+    scanner_index: Optional[Dict[str, int]] = None,
+    name: str = "snapshot",
+) -> SeqSpec:
+    """(Auditable) snapshot: state is ``(view, frozenset((j, view)))``.
+
+    ``update``/``scan`` operations must be tagged with their pid
+    (:func:`tag_ops_with_pid`); scan results must equal the current
+    view; audit results must equal the pair set of preceding scans.
+    """
+    scanner_index = scanner_index or {}
+
+    def apply(state, op_name, args, result):
+        view, pairs = state
+        if op_name == "update":
+            value, pid = args[0], args[-1]
+            i = updater_index[pid]
+            new_view = view[:i] + (value,) + view[i + 1:]
+            return (new_view, pairs)
+        if op_name == "scan":
+            if result is not PENDING and result != view:
+                return None
+            pid = args[-1] if args else None
+            if pid in scanner_index:
+                return (view, pairs | {(scanner_index[pid], view)})
+            return state
+        if op_name == "audit":
+            if result is PENDING or result == pairs:
+                return state
+            return None
+        return None
+
+    return SeqSpec(name, ((initial,) * components, frozenset()), apply)
+
+
+def versioned_spec(
+    type_spec,
+    reader_index: Dict[str, int],
+    name: Optional[str] = None,
+) -> SeqSpec:
+    """Auditable versioned type (Theorem 13): state is
+    ``(q, frozenset((j, out)))`` for a
+    :class:`~repro.core.versioned.TypeSpec`.
+
+    ``update(v)`` applies ``g``; tagged reads return ``f(q)`` and add
+    their pair; audits must equal the pair set.
+    """
+
+    def apply(state, op_name, args, result):
+        q, pairs = state
+        if op_name == "update":
+            return (type_spec.apply_update(args[0], q), pairs)
+        if op_name == "read":
+            out = type_spec.read_out(q)
+            if result is not PENDING and result != out:
+                return None
+            j = reader_index[args[0]]
+            return (q, pairs | {(j, out)})
+        if op_name == "audit":
+            if result is PENDING or result == pairs:
+                return state
+            return None
+        return None
+
+    return SeqSpec(
+        name or f"auditable_{type_spec.name}",
+        (type_spec.initial_state, frozenset()),
+        apply,
+    )
+
+
+def tag_reads(operations):
+    """Copies of the operations with each read's args set to ``(pid,)``."""
+    tagged = []
+    for op in operations:
+        if op.name == "read" and not op.args:
+            op = replace(op, args=(op.pid,), primitives=list(op.primitives))
+        tagged.append(op)
+    return tagged
+
+
+def tag_ops_with_pid(operations, names=("update", "scan")):
+    """Copies of the operations with the pid appended to selected ops."""
+    tagged = []
+    for op in operations:
+        if op.name in names:
+            op = replace(
+                op, args=op.args + (op.pid,), primitives=list(op.primitives)
+            )
+        tagged.append(op)
+    return tagged

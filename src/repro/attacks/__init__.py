@@ -1,0 +1,55 @@
+"""Honest-but-curious attacks (Section 2, Attacks).
+
+Each attack follows the prescribed algorithm code but may stop
+prematurely and perform arbitrary local computation on the responses it
+obtained from base objects.  Attacks run against both the paper's
+algorithms and the leaky baselines; the experiments report, per target,
+whether the attacker learned anything it should not have and whether
+audits caught it.
+
+- :mod:`repro.attacks.crash_attack` -- learn the current value, then
+  stop before leaving any (completed-operation) trace.
+- :mod:`repro.attacks.curious_reader` -- infer which other readers read
+  the current value from the tracking bits.
+- :mod:`repro.attacks.pad_reuse` -- ablation: a broken register variant
+  without the SN short-circuit lets one reader observe two ciphertexts
+  under the same mask and difference them.
+- :mod:`repro.attacks.max_gap` -- infer unread intermediate values of a
+  max register from sequence-number gaps (defeated by nonces).
+
+Beyond the paper's claims (its Section 6 open questions, made
+concrete):
+
+- :mod:`repro.attacks.collusion` -- two colluding readers cancel the
+  one-time pad and detect a third reader's access.
+- :mod:`repro.attacks.curious_writer` -- writers hold the pads and
+  audit de facto; reads are not uncompromised by writers.
+"""
+
+from repro.attacks.collusion import CollusionResult, run_collusion_attack
+from repro.attacks.crash_attack import CrashAttackResult, run_crash_attack
+from repro.attacks.curious_reader import (
+    CuriousReaderResult,
+    run_curious_reader_attack,
+)
+from repro.attacks.curious_writer import (
+    CuriousWriterResult,
+    run_curious_writer_attack,
+)
+from repro.attacks.pad_reuse import PadReuseResult, run_pad_reuse_attack
+from repro.attacks.max_gap import GapAttackResult, run_gap_attack
+
+__all__ = [
+    "CollusionResult",
+    "CrashAttackResult",
+    "CuriousReaderResult",
+    "CuriousWriterResult",
+    "GapAttackResult",
+    "PadReuseResult",
+    "run_collusion_attack",
+    "run_crash_attack",
+    "run_curious_reader_attack",
+    "run_curious_writer_attack",
+    "run_gap_attack",
+    "run_pad_reuse_attack",
+]

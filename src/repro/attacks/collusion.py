@@ -1,0 +1,104 @@
+"""Colluding readers (the paper's closing open question, Section 6).
+
+    "An interesting intermediate concept would allow several readers
+     [to] collude and to combine the information they obtain in order
+     to learn more than what they are allowed to."
+
+Algorithm 1's Lemma 7 guarantees that a *single* reader learns nothing
+about other readers.  This module shows constructively that the
+guarantee does **not** extend to coalitions: two colluding readers can
+detect a victim's access with certainty.
+
+The attack: colluders c1 and c2 both perform ordinary direct reads of
+the same sequence number, c1 before and c2 after the victim's window.
+Each fetch&xor returns the pre-insertion tracking word:
+
+    c1 observes  B1 = mask ^ (insertions before c1)
+    c2 observes  B2 = mask ^ (insertions before c2)
+
+Pooling their views, B1 XOR B2 cancels the one-time pad entirely and
+equals the set of insertions *between* the two fetches -- which
+includes c1's own bit (known to the coalition) and the victim's bit iff
+the victim read in the window.  The pad is single-use per *observer*
+(Lemma 17) but the coalition has two observations of one mask.
+
+This is not a bug in the paper -- Lemma 7 is stated for a single
+curious reader -- but a sharp demonstration that the proposed
+"intermediate concept" would require per-reader pads or re-keying.
+Experiment E11 measures the coalition's advantage (1.0) against the
+single-reader advantage (~0).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.leakage import AttackOutcome, empirical_advantage
+from repro.core.auditable_register import AuditableRegister
+from repro.crypto.pad import OneTimePadSequence
+from repro.sim.runner import Simulation
+
+
+@dataclass
+class CollusionResult:
+    trials: int
+    coalition_advantage: float
+    single_reader_advantage: float
+    outcomes: List[AttackOutcome]
+
+
+def _one_trial(victim_reads: bool, seed: int) -> AttackOutcome:
+    pad = OneTimePadSequence(num_readers=3, seed=seed)
+    sim = Simulation()
+    reg = AuditableRegister(num_readers=3, initial="v0", pad=pad)
+    writer = reg.writer(sim.spawn("writer"))
+    c1 = reg.reader(sim.spawn("c1"), 0)
+    victim = reg.reader(sim.spawn("victim"), 1)
+    c2 = reg.reader(sim.spawn("c2"), 2)
+
+    sim.add_program("writer", [writer.write_op("secret")])
+    sim.run_process("writer")
+    sim.add_program("c1", [c1.read_op()])
+    sim.run_process("c1")
+    if victim_reads:
+        sim.add_program("victim", [victim.read_op()])
+        sim.run_process("victim")
+    sim.add_program("c2", [c2.read_op()])
+    sim.run_process("c2")
+
+    # The coalition pools the tracking words of its two fetch&xors.
+    words = [
+        event.result.bits
+        for pid in ("c1", "c2")
+        for event in sim.history.primitive_events(
+            pid=pid, obj_name=reg.R.name, primitive="fetch_xor"
+        )
+    ]
+    assert len(words) == 2
+    diff = words[0] ^ words[1]  # the pad cancels
+    diff ^= 1 << 0  # remove c1's own (known) insertion
+    guess = bool(diff >> 1 & 1)  # the victim's bit
+    return AttackOutcome(secret=victim_reads, guess=guess)
+
+
+def run_collusion_attack(
+    trials: int = 100, seed: int = 0
+) -> CollusionResult:
+    """Coalition advantage vs. the single-reader baseline (Lemma 7)."""
+    from repro.attacks.curious_reader import run_curious_reader_attack
+
+    rng = random.Random(("collusion", seed).__hash__())
+    outcomes = []
+    for t in range(trials):
+        victim_reads = rng.random() < 0.5
+        outcomes.append(_one_trial(victim_reads, seed * 65_537 + t))
+    single = run_curious_reader_attack("algorithm1", trials=trials,
+                                       seed=seed)
+    return CollusionResult(
+        trials=trials,
+        coalition_advantage=empirical_advantage(outcomes),
+        single_reader_advantage=single.advantage,
+        outcomes=outcomes,
+    )

@@ -1,0 +1,100 @@
+"""The crash-simulating attack of Section 3.1.
+
+The attacker is a reader that follows its read code just long enough to
+learn the current value, then stops (pretends to crash).  Against the
+naive design the first primitive of a read -- a plain read of ``R`` --
+already reveals the value and modifies nothing, so no audit can ever
+report the access.  Against Algorithm 1 the only primitive that reveals
+the value is the fetch&xor, which *simultaneously* logs the access: the
+moment the read becomes effective it is auditable.
+
+``run_crash_attack`` drives one scenario: a writer installs a secret,
+the attacker steps through its read primitive by primitive and stops at
+the first step after which it knows the value; a subsequent audit is
+compared against what the attacker learned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.auditable_register import AuditableRegister
+from repro.baselines.naive_auditable import NaiveAuditableRegister
+from repro.sim.runner import Simulation
+
+
+@dataclass
+class CrashAttackResult:
+    target: str  # "algorithm1" or "naive"
+    secret: Any
+    learned_value: Optional[Any]  # what the attacker extracted
+    audited: bool  # did the audit report the attacker?
+    attacker_steps: int
+
+    @property
+    def leaked_undetected(self) -> bool:
+        return self.learned_value is not None and not self.audited
+
+
+def _value_from_view(view, r_name: str) -> Optional[Any]:
+    """What an attacker can extract from its own primitive results: the
+    value field of any R word it observed."""
+    for obj, primitive, args, result in view:
+        if obj == r_name and result is not None and hasattr(result, "val"):
+            return result.val
+    return None
+
+
+def run_crash_attack(
+    target: str, secret: Any = "secret", seed: int = 0
+) -> CrashAttackResult:
+    """Run the attack against ``"algorithm1"`` or ``"naive"``."""
+    sim = Simulation()
+    if target == "algorithm1":
+        reg = AuditableRegister(num_readers=1, initial="v0")
+    elif target == "naive":
+        reg = NaiveAuditableRegister(num_readers=1, initial="v0")
+    else:
+        raise ValueError(f"unknown target {target!r}")
+
+    writer = reg.writer(sim.spawn("writer"))
+    attacker = reg.reader(sim.spawn("attacker"), 0)
+    auditor = reg.auditor(sim.spawn("auditor"))
+
+    # 1. The secret is written and the write completes.
+    sim.add_program("writer", [writer.write_op(secret)])
+    sim.run_process("writer")
+
+    # 2. The attacker steps its read one primitive at a time and stops
+    #    the moment its local view contains the value.
+    sim.add_program("attacker", [attacker.read_op()])
+    steps = 0
+    learned = None
+    while sim.processes["attacker"].has_work():
+        sim.step_process("attacker")
+        steps += 1
+        learned = _value_from_view(
+            sim.history.projection("attacker"), reg.R.name
+        )
+        if learned is not None:
+            break
+    sim.crash("attacker")
+
+    # 3. An audit runs to completion.
+    sim.add_program("auditor", [auditor.audit_op()])
+    sim.run_process("auditor")
+    report = sim.history.operations(name="audit")[-1].result
+    audited = (0, learned) in report if learned is not None else False
+
+    decoded = None
+    if learned is not None:
+        decode = getattr(reg, "_decode_value", lambda v: v)
+        decoded = decode(learned)
+    return CrashAttackResult(
+        target=target,
+        secret=secret,
+        learned_value=decoded,
+        audited=audited,
+        attacker_steps=steps,
+    )

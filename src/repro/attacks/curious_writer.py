@@ -1,0 +1,90 @@
+"""Curious writers (the paper's first open question, Section 6).
+
+    "An immediate question is how to implement an auditable register in
+     which only auditors can audit, i.e., reads are uncompromised by
+     writers."
+
+In Algorithm 1 this is impossible by construction: writers *must* hold
+the one-time pads, because a write archives the deciphered reader set
+of the outgoing value into ``B`` (line 13).  A writer that follows its
+code therefore performs a de-facto audit on every write -- its local
+view contains the plaintext identity of every reader of the value it
+overwrites.
+
+This module makes that concrete: an honest-but-curious *writer* decodes
+the tracking bits of the word it read from ``R`` using its pads and
+recovers the victim's access with certainty.  Experiment E12 reports
+the writer's advantage (1.0) next to the reader's (~0), delimiting
+exactly what the paper's guarantees do and do not cover (Theorem 8
+claims uncompromised reads *by readers* only).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.leakage import AttackOutcome, empirical_advantage
+from repro.core.auditable_register import AuditableRegister
+from repro.crypto.pad import OneTimePadSequence
+from repro.sim.runner import Simulation
+
+
+@dataclass
+class CuriousWriterResult:
+    trials: int
+    writer_advantage: float
+    reader_advantage: float
+    outcomes: List[AttackOutcome]
+
+
+def _one_trial(victim_reads: bool, seed: int) -> AttackOutcome:
+    pad = OneTimePadSequence(num_readers=2, seed=seed)
+    sim = Simulation()
+    reg = AuditableRegister(num_readers=2, initial="v0", pad=pad)
+    writer = reg.writer(sim.spawn("writer"))
+    curious = reg.writer(sim.spawn("curious-writer"))
+    victim = reg.reader(sim.spawn("victim"), 0)
+
+    sim.add_program("writer", [writer.write_op("secret")])
+    sim.run_process("writer")
+    if victim_reads:
+        sim.add_program("victim", [victim.read_op()])
+        sim.run_process("victim")
+    # The curious writer just performs its prescribed write ...
+    sim.add_program("curious-writer", [curious.write_op("overwrite")])
+    sim.run_process("curious-writer")
+
+    # ... and decodes what it saw, using the pads it legitimately holds.
+    words = [
+        event.result
+        for event in sim.history.primitive_events(
+            pid="curious-writer", obj_name=reg.R.name, primitive="read"
+        )
+    ]
+    guess = any(
+        pad.is_member(word.seq, word.bits, 0) for word in words
+    )
+    return AttackOutcome(secret=victim_reads, guess=guess)
+
+
+def run_curious_writer_attack(
+    trials: int = 100, seed: int = 0
+) -> CuriousWriterResult:
+    from repro.attacks.curious_reader import run_curious_reader_attack
+
+    rng = random.Random(("curious-writer", seed).__hash__())
+    outcomes = []
+    for t in range(trials):
+        victim_reads = rng.random() < 0.5
+        outcomes.append(_one_trial(victim_reads, seed * 31_337 + t))
+    reader = run_curious_reader_attack(
+        "algorithm1", trials=trials, seed=seed
+    )
+    return CuriousWriterResult(
+        trials=trials,
+        writer_advantage=empirical_advantage(outcomes),
+        reader_advantage=reader.advantage,
+        outcomes=outcomes,
+    )

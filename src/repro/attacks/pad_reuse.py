@@ -1,0 +1,115 @@
+"""Pad-reuse ablation: why the SN short-circuit matters.
+
+One-time pads are secure only if each mask is used once *per observer*.
+Algorithm 1 enforces this with the ``SN`` register: a reader whose
+previous read already saw the current sequence number short-circuits
+(silent read) and never observes two ciphertexts under the same mask.
+
+This module implements ``BrokenRegister`` -- Algorithm 1 with the SN
+check removed (every read applies fetch&xor) -- and the differencing
+attack: an attacker that reads twice under one sequence number XORs the
+two observed bit strings; the difference is *plaintext* (the pad cancels
+out), revealing exactly which readers were inserted in between.
+
+Against the correct Algorithm 1 the attack never obtains two ciphertexts
+with equal sequence numbers (Lemma 17), so it learns nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.core.auditable_register import AuditableRegister, RegisterReader
+from repro.crypto.pad import OneTimePadSequence
+from repro.sim.process import Op, Process
+from repro.sim.runner import Simulation
+
+
+class BrokenRegister(AuditableRegister):
+    """Algorithm 1 *without* the silent-read short-circuit (ablation)."""
+
+    def reader(self, process: Process, index: int) -> "BrokenReader":
+        if not 0 <= index < self.num_readers:
+            raise IndexError("reader index out of range")
+        return BrokenReader(self, process, index)
+
+
+class BrokenReader(RegisterReader):
+    """A reader that always applies fetch&xor -- the line-3 check of
+    Algorithm 1 is removed, so pads get reused per observer."""
+
+    def read(self):
+        reg = self.register
+        word = yield from reg.R.fetch_xor(1 << self.index)
+        yield from reg.SN.compare_and_swap(word.seq - 1, word.seq)
+        self.prev_sn = word.seq
+        self.prev_val = reg._decode_value(word.val)
+        return self.prev_val
+
+
+@dataclass
+class PadReuseResult:
+    target: str  # "broken" or "algorithm1"
+    inferred_readers: Optional[FrozenSet[int]]  # attacker's inference
+    actual_readers: FrozenSet[int]  # ground truth
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.inferred_readers == self.actual_readers
+
+
+def run_pad_reuse_attack(target: str, seed: int = 0) -> PadReuseResult:
+    """Scenario: attacker reads, victims read, attacker reads again.
+
+    With the broken register both attacker fetch&xors hit the same
+    sequence number; XOR-ing the observed bit fields cancels the pad and
+    exposes the victims (plus the attacker's own first insertion).
+    """
+    pad = OneTimePadSequence(num_readers=3, seed=seed)
+    sim = Simulation()
+    if target == "broken":
+        reg = BrokenRegister(num_readers=3, initial="v0", pad=pad)
+    elif target == "algorithm1":
+        reg = AuditableRegister(num_readers=3, initial="v0", pad=pad)
+    else:
+        raise ValueError(f"unknown target {target!r}")
+
+    attacker = reg.reader(sim.spawn("attacker"), 0)
+    victim1 = reg.reader(sim.spawn("victim1"), 1)
+    victim2 = reg.reader(sim.spawn("victim2"), 2)
+
+    sim.add_program("attacker", [attacker.read_op()])
+    sim.run_process("attacker")
+    sim.add_program("victim1", [victim1.read_op()])
+    sim.run_process("victim1")
+    sim.add_program("victim2", [victim2.read_op()])
+    sim.run_process("victim2")
+    sim.add_program("attacker", [attacker.read_op()])
+    sim.run_process("attacker")
+
+    actual = frozenset({1, 2})
+    words = [
+        event.result
+        for event in sim.history.primitive_events(
+            pid="attacker", obj_name=reg.R.name, primitive="fetch_xor"
+        )
+    ]
+    same_seq = [
+        (a, b)
+        for a, b in zip(words, words[1:])
+        if a.seq == b.seq
+    ]
+    if not same_seq:
+        # Lemma 17 held: no two ciphertexts under one mask; nothing to
+        # difference.
+        return PadReuseResult(target, None, actual)
+    first, second = same_seq[0]
+    diff = first.bits ^ second.bits
+    # The attacker knows its own insertion (bit 0 flipped by its first
+    # fetch&xor) and removes it from the difference.
+    diff ^= 1 << 0
+    inferred = frozenset(
+        j for j in range(reg.num_readers) if diff >> j & 1
+    )
+    return PadReuseResult(target, inferred, actual)

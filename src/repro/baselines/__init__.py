@@ -1,0 +1,22 @@
+"""Baselines: the designs the paper improves upon.
+
+- :mod:`repro.baselines.naive_auditable` -- the "initial design" of
+  Section 3.1: lock-free, plaintext reader sets, separate value access
+  and logging.  Demonstrates both leaks the paper closes.
+- :mod:`repro.baselines.swap_based` -- an OPODIS'23-style single-writer
+  auditable register from non-universal primitives (announce-then-read):
+  audits completed reads but over-reports crashed ones and leaks logs.
+- :mod:`repro.baselines.cogo_bessani` -- a shared-memory simulation of
+  the Cogo-Bessani replicated emulation with information dispersal
+  (n >= 4f+1 servers, threshold secret sharing, per-server access logs).
+"""
+
+from repro.baselines.naive_auditable import NaiveAuditableRegister
+from repro.baselines.swap_based import SwapBasedAuditableRegister
+from repro.baselines.cogo_bessani import CogoBessaniRegister
+
+__all__ = [
+    "CogoBessaniRegister",
+    "NaiveAuditableRegister",
+    "SwapBasedAuditableRegister",
+]

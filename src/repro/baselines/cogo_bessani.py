@@ -1,0 +1,283 @@
+"""A shared-memory simulation of the Cogo-Bessani auditable register [8].
+
+Cogo and Bessani emulate an auditable *regular* register over ``n >=
+4f+1`` storage objects, ``f`` of which may be faulty, using an
+information-dispersal scheme: a written value is split into verifiable
+shares with recovery threshold ``tau = 2f+1``; each storage object logs
+every retrieval.  A reader must assemble ``tau`` valid shares, so at
+least ``tau - f = f+1`` *correct* servers log every successful read; an
+auditor that hears from ``n - f`` servers therefore always sees at least
+``f+1`` matching log entries, while faulty servers alone (at most ``f``)
+cannot fabricate enough entries to frame a reader.
+
+Why ``4f+1``: a reader can only wait for ``n - f`` responses (the other
+``f`` may have crashed), and up to ``f`` of the received shares may be
+invalid (Byzantine servers); reconstruction needs ``n - 2f >= tau =
+2f+1``, i.e. ``n >= 4f+1``.  Experiment E10 sweeps ``(n, f)`` and shows
+reads becoming unavailable below the bound, exactly as Del Pozzo, Milani
+and Rapetti [10] prove for servers that do not communicate.
+
+Simulation choices (DESIGN.md, Section 2):
+
+- storage objects are shared base objects with ``store``, ``retrieve``
+  (which atomically logs the accessing reader) and ``read_log``
+  primitives;
+- *crashed* objects return ``None`` forever; *Byzantine* objects return
+  invalid shares and deny their log (worst case for the reader and the
+  auditor), and are queried first (adversarial response order);
+- information dispersal is Shamir secret sharing over GF(p) with
+  threshold ``tau = 2f+1``; share validity is modelled as a flag
+  (standing in for the verifiable fingerprints of the original);
+- the audit rule reports a reader for a value when at least ``f+1``
+  reachable servers logged the retrieval.
+
+The weakness the paper's Section 1.1 attributes to completion-based
+auditability definitions is also reproducible here: a *partial* read
+that collected fewer than ``tau`` shares learns nothing, yet may or may
+not be reported -- audits are exact only for completed reads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.memory.base import BaseObject
+from repro.sim.process import Op, Process
+
+# A Mersenne prime comfortably above any value the experiments write.
+_PRIME = (1 << 61) - 1
+
+#: Returned by ``read`` when too few valid shares are available.
+READ_FAILED = "READ-FAILED"
+
+
+def _eval_poly(coeffs: Sequence[int], x: int) -> int:
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % _PRIME
+    return acc
+
+
+def make_shares(
+    secret: int, n: int, threshold: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """Shamir shares of ``secret``: any ``threshold`` reconstruct it."""
+    if not 0 <= secret < _PRIME:
+        raise ValueError("secret out of field range")
+    coeffs = [secret] + [rng.randrange(_PRIME) for _ in range(threshold - 1)]
+    return [(x, _eval_poly(coeffs, x)) for x in range(1, n + 1)]
+
+
+def reconstruct(shares: Sequence[Tuple[int, int]]) -> int:
+    """Lagrange interpolation at 0."""
+    total = 0
+    for i, (xi, yi) in enumerate(shares):
+        num = 1
+        den = 1
+        for k, (xk, _) in enumerate(shares):
+            if k == i:
+                continue
+            num = num * (-xk) % _PRIME
+            den = den * (xi - xk) % _PRIME
+        total = (total + yi * num * pow(den, -1, _PRIME)) % _PRIME
+    return total
+
+
+class StorageObject(BaseObject):
+    """One storage object with an access log; may crash or be Byzantine."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._shares: Dict[int, Tuple[int, int]] = {}  # ts -> share
+        self._latest_ts = 0
+        self._log: List[Tuple[str, int]] = []  # (reader pid, ts)
+        self.crashed = False
+        self.byzantine = False
+
+    def crash(self) -> None:
+        self.crashed = True
+
+    def corrupt(self) -> None:
+        self.byzantine = True
+
+    def _apply_store(self, ts: int, share: Tuple[int, int]):
+        if self.crashed:
+            return None
+        if not self.byzantine:
+            self._shares[ts] = share
+            self._latest_ts = max(self._latest_ts, ts)
+        return True
+
+    def _apply_retrieve(self, pid: str):
+        """Log the access and return (ts, share, valid) -- atomically."""
+        if self.crashed:
+            return None
+        if self.byzantine:
+            # Responds with an invalid share and never logs honestly.
+            return (self._latest_ts, None, False)
+        self._log.append((pid, self._latest_ts))
+        return (self._latest_ts, self._shares.get(self._latest_ts), True)
+
+    def _apply_read_log(self):
+        if self.crashed:
+            return None
+        if self.byzantine:
+            return ()  # denies everything
+        return tuple(self._log)
+
+    def store(self, ts: int, share: Tuple[int, int]):
+        return (yield from self._request("store", ts, share))
+
+    def retrieve(self, pid: str):
+        return (yield from self._request("retrieve", pid))
+
+    def read_log(self):
+        return (yield from self._request("read_log"))
+
+
+class CogoBessaniRegister:
+    """The replicated auditable register emulation."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        initial: int = 0,
+        name: str = "cb",
+        seed: int = 0,
+    ) -> None:
+        if n < 1 or f < 0:
+            raise ValueError("need n >= 1, f >= 0")
+        self.n = n
+        self.f = f
+        self.threshold = 2 * f + 1
+        self.name = name
+        self.initial = initial
+        self._rng = random.Random(("cogo-bessani", seed).__hash__())
+        self.servers = [StorageObject(f"{name}.S[{i}]") for i in range(n)]
+        self.values: Dict[int, int] = {0: initial}  # ts -> value
+        shares = make_shares(initial, n, self.threshold, self._rng)
+        for server, share in zip(self.servers, shares):
+            server._shares[0] = share
+
+    @property
+    def resilient(self) -> bool:
+        """Whether the configuration satisfies the 4f+1 lower bound."""
+        return self.n >= 4 * self.f + 1
+
+    def crash_servers(self, indices: Sequence[int]) -> None:
+        for i in indices:
+            self.servers[i].crash()
+
+    def corrupt_servers(self, indices: Sequence[int]) -> None:
+        for i in indices:
+            self.servers[i].corrupt()
+
+    def query_order(self) -> List[StorageObject]:
+        """Adversarial response order: Byzantine servers answer first."""
+        return sorted(
+            self.servers, key=lambda s: (not s.byzantine, s.name)
+        )
+
+    def reader(self, process: Process) -> "CBReader":
+        return CBReader(self, process)
+
+    def writer(self, process: Process) -> "CBWriter":
+        return CBWriter(self, process)
+
+    def auditor(self, process: Process) -> "CBAuditor":
+        return CBAuditor(self, process)
+
+
+class CBWriter:
+    def __init__(self, register: CogoBessaniRegister, process: Process):
+        self.register = register
+        self.process = process
+        self._ts = 0
+
+    def write(self, value: int):
+        reg = self.register
+        self._ts += 1
+        ts = self._ts
+        reg.values[ts] = value
+        shares = make_shares(value, reg.n, reg.threshold, reg._rng)
+        for server, share in zip(reg.servers, shares):
+            yield from server.store(ts, share)
+        return None
+
+    def write_op(self, value: int) -> Op:
+        return Op("write", self.write, (value,))
+
+
+class CBReader:
+    def __init__(self, register: CogoBessaniRegister, process: Process):
+        self.register = register
+        self.process = process
+
+    def read(self):
+        """Collect at most n-f responses; reconstruct if some timestamp
+        reaches the threshold in *valid* shares, else READ_FAILED."""
+        reg = self.register
+        by_ts: Dict[int, List[Tuple[int, int]]] = {}
+        responses = 0
+        for server in reg.query_order():
+            if responses >= reg.n - reg.f:
+                break  # an asynchronous reader cannot wait for more
+            result = yield from server.retrieve(self.process.pid)
+            if result is None:
+                continue  # crashed: no response
+            responses += 1
+            ts, share, valid = result
+            if valid and share is not None:
+                by_ts.setdefault(ts, []).append(share)
+                if len(by_ts[ts]) >= reg.threshold:
+                    return reconstruct(by_ts[ts][: reg.threshold])
+        return READ_FAILED
+
+    def read_op(self) -> Op:
+        return Op("read", self.read)
+
+    def partial_read(self, servers: int):
+        """The crash-simulating attacker: contact only ``servers``
+        storage objects, then stop.  Returns the shares gathered."""
+        reg = self.register
+        gathered = []
+        for server in reg.query_order()[:servers]:
+            result = yield from server.retrieve(self.process.pid)
+            if result is not None:
+                gathered.append(result)
+        return tuple(gathered)
+
+    def partial_read_op(self, servers: int) -> Op:
+        return Op("partial_read", self.partial_read, (servers,))
+
+
+class CBAuditor:
+    def __init__(self, register: CogoBessaniRegister, process: Process):
+        self.register = register
+        self.process = process
+
+    def audit(self):
+        """Report (pid, value) when >= f+1 responsive servers logged the
+        retrieval of that value's timestamp by pid."""
+        reg = self.register
+        counts: Dict[Tuple[str, int], int] = {}
+        responses = 0
+        for server in reg.query_order():
+            if responses >= reg.n - reg.f:
+                break
+            log = yield from server.read_log()
+            if log is None:
+                continue  # crashed
+            responses += 1
+            for pid, ts in set(log):
+                counts[(pid, ts)] = counts.get((pid, ts), 0) + 1
+        return frozenset(
+            (pid, reg.values[ts])
+            for (pid, ts), count in counts.items()
+            if count >= reg.f + 1
+        )
+
+    def audit_op(self) -> Op:
+        return Op("audit", self.audit)

@@ -1,0 +1,169 @@
+"""The "initial design" of Section 3.1 -- deliberately leaky.
+
+A read obtains from ``R`` the current value and the *plaintext* reader
+set, adds its id locally, and writes the set back with compare&swap.
+Simple to linearize, but:
+
+1. **Crash-simulating attack**: a reader learns the current value from
+   its first read of ``R``; by stopping before its compare&swap it
+   leaves no trace in shared memory and is never audited, even though --
+   once its CAS would have succeeded -- the value it obtained is exactly
+   what its read would return.  (In the paper's terms: the read is not
+   yet effective, but the *write is compromised*: the reader learned the
+   value.)
+2. **Partial auditing**: every read of ``R`` reveals which readers
+   already read the current value -- reads compromise other reads.
+
+Also only lock-free: a reader's CAS can fail forever under contention.
+The experiments cap retries; capped-out reads raise.
+
+The structure mirrors Algorithm 1 (same ``V``/``B`` archives, same
+sequence numbers) so that step counts are comparable in benchmark B2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional, Set, Tuple
+
+from repro.memory.array import BitMatrix, RegisterArray
+from repro.memory.base import BOTTOM
+from repro.memory.register import CasRegister
+from repro.sim.process import Op, Process
+
+
+class _Word:
+    """Plaintext triple (seq, val, readers) -- hashable, immutable."""
+
+    __slots__ = ("seq", "val", "readers")
+
+    def __init__(self, seq: int, val: Any, readers: FrozenSet[int]) -> None:
+        self.seq = seq
+        self.val = val
+        self.readers = readers
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, _Word)
+            and self.seq == other.seq
+            and self.val == other.val
+            and self.readers == other.readers
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.val, self.readers))
+
+    def __repr__(self) -> str:
+        return f"(seq={self.seq}, val={self.val!r}, readers={set(self.readers) or '{}'})"
+
+
+class NaiveAuditableRegister:
+    """Shared state of the naive design plus handle factories."""
+
+    def __init__(
+        self,
+        num_readers: int,
+        initial: Any = BOTTOM,
+        name: str = "naive",
+        max_retries: int = 10_000,
+    ) -> None:
+        self.num_readers = num_readers
+        self.name = name
+        self.initial = initial
+        self.max_retries = max_retries
+        self.R = CasRegister(f"{name}.R", _Word(0, initial, frozenset()))
+        self.V = RegisterArray(f"{name}.V", default=BOTTOM)
+        self.B = BitMatrix(f"{name}.B", width=num_readers)
+
+    def reader(self, process: Process, index: int) -> "NaiveReader":
+        return NaiveReader(self, process, index)
+
+    def writer(self, process: Process) -> "NaiveWriter":
+        return NaiveWriter(self, process)
+
+    def auditor(self, process: Process) -> "NaiveAuditor":
+        return NaiveAuditor(self, process)
+
+
+class NaiveReader:
+    def __init__(
+        self, register: NaiveAuditableRegister, process: Process, index: int
+    ) -> None:
+        self.register = register
+        self.process = process
+        self.index = index
+
+    def read(self):
+        reg = self.register
+        for _ in range(reg.max_retries):
+            word = yield from reg.R.read()  # <-- value learned HERE,
+            # before any trace is left; also leaks word.readers.
+            if self.index in word.readers:
+                return word.val
+            marked = _Word(
+                word.seq, word.val, word.readers | {self.index}
+            )
+            swapped = yield from reg.R.compare_and_swap(word, marked)
+            if swapped:
+                return word.val
+        raise RuntimeError(
+            f"naive read by {self.process.pid} starved "
+            f"(lock-free only; {reg.max_retries} retries)"
+        )
+
+    def read_op(self) -> Op:
+        return Op("read", self.read)
+
+
+class NaiveWriter:
+    def __init__(
+        self, register: NaiveAuditableRegister, process: Process
+    ) -> None:
+        self.register = register
+        self.process = process
+
+    def write(self, value: Any):
+        reg = self.register
+        for _ in range(reg.max_retries):
+            word = yield from reg.R.read()
+            yield from reg.V[word.seq].write(word.val)
+            for j in sorted(word.readers):
+                yield from reg.B[word.seq, j].write(True)
+            swapped = yield from reg.R.compare_and_swap(
+                word, _Word(word.seq + 1, value, frozenset())
+            )
+            if swapped:
+                return None
+        raise RuntimeError(
+            f"naive write by {self.process.pid} starved "
+            f"(lock-free only; {reg.max_retries} retries)"
+        )
+
+    def write_op(self, value: Any) -> Op:
+        return Op("write", self.write, (value,))
+
+
+class NaiveAuditor:
+    def __init__(
+        self, register: NaiveAuditableRegister, process: Process
+    ) -> None:
+        self.register = register
+        self.process = process
+        self.audit_set: Set[Tuple[int, Any]] = set()
+        self.lsa = 0
+
+    def audit(self):
+        reg = self.register
+        word = yield from reg.R.read()
+        for s in range(self.lsa, word.seq):
+            val = yield from reg.V[s].read()
+            for j in range(reg.num_readers):
+                flagged = yield from reg.B[s, j].read()
+                if flagged:
+                    self.audit_set.add((j, val))
+        for j in word.readers:
+            self.audit_set.add((j, word.val))
+        self.lsa = word.seq
+        return frozenset(self.audit_set)
+
+    def audit_op(self) -> Op:
+        return Op("audit", self.audit)

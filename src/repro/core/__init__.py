@@ -1,0 +1,57 @@
+"""The paper's contributions: auditable objects.
+
+- :class:`AuditableRegister` -- Algorithm 1 (multi-writer multi-reader
+  register; effective reads are auditable, readers leak nothing).
+- :class:`AuditableMaxRegister` -- Algorithm 2 (max register with random
+  nonces hiding unread intermediate values).
+- :class:`AuditableSnapshot` -- Algorithm 3 (n-component snapshot).
+- :class:`AuditableVersioned` -- Theorem 13 (any versioned type).
+"""
+
+from repro.core.auditable_max_register import (
+    AuditableMaxRegister,
+    MaxRegisterWriter,
+)
+from repro.core.auditable_register import (
+    AuditableRegister,
+    RegisterAuditor,
+    RegisterReader,
+    RegisterWriter,
+)
+from repro.core.auditable_snapshot import (
+    AuditableSnapshot,
+    SnapshotAuditor,
+    SnapshotScanner,
+    SnapshotUpdater,
+)
+from repro.core.types import Nonced
+from repro.core.versioned import (
+    AtomicVersionedObject,
+    AuditableVersioned,
+    TypeSpec,
+    counter_spec,
+    journal_spec,
+    kv_store_spec,
+    logical_clock_spec,
+)
+
+__all__ = [
+    "AtomicVersionedObject",
+    "AuditableMaxRegister",
+    "AuditableRegister",
+    "AuditableSnapshot",
+    "AuditableVersioned",
+    "MaxRegisterWriter",
+    "Nonced",
+    "RegisterAuditor",
+    "RegisterReader",
+    "RegisterWriter",
+    "SnapshotAuditor",
+    "SnapshotScanner",
+    "SnapshotUpdater",
+    "TypeSpec",
+    "counter_spec",
+    "journal_spec",
+    "kv_store_spec",
+    "logical_clock_spec",
+]

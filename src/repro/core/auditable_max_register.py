@@ -1,0 +1,119 @@
+"""Algorithm 2: the auditable max register.
+
+``read`` and ``audit`` are exactly those of Algorithm 1 (with the random
+nonce stripped from returned values).  ``writeMax`` differs from
+``write`` in two ways (the blue lines of the paper's pseudo-code):
+
+1. values stored in ``R`` are *non-decreasing*: each loop iteration
+   installs the current value of a shared non-auditable max register
+   ``M``, never a stale smaller one;
+2. a ``writeMax(w)`` is abandoned only when ``R`` already holds a value
+   ``>= w`` -- seeing a newer *sequence number* is not enough (the newer
+   value might be smaller than ``w``), in which case the operation helps
+   advance ``SN`` and retries with a fresh sequence number.
+
+The subtlety (Section 4): the pair (value, sequence number) would let a
+reader infer *unread intermediate values* -- reading ``v`` at seq ``s``
+and later ``v+2`` at seq ``s+2`` reveals that ``v+1`` was written.  A
+random nonce appended to every written value destroys that arithmetic:
+pairs ``(w, N)`` are ordered lexicographically and the reader cannot
+reconstruct gaps (Lemma 38).  Experiment E6 toggles the nonce off to
+demonstrate the attack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.auditable_register import (
+    AuditableRegister,
+    RegisterAuditor,
+    RegisterReader,
+    _Handle,
+)
+from repro.core.types import Nonced
+from repro.crypto.nonce import NonceSource
+from repro.crypto.pad import OneTimePadSequence
+from repro.memory.rword import RWord
+from repro.sim.process import Op, Process
+from repro.substrates.max_register import make_max_register
+
+
+class AuditableMaxRegister(AuditableRegister):
+    """Shared state of Algorithm 2.
+
+    ``initial`` is the plain initial value ``w0``; it is stored as
+    ``(w0, N0)`` with a fresh nonce.  ``max_substrate`` selects the
+    non-auditable max register implementation backing ``M`` ("atomic" or
+    "cas"; see :mod:`repro.substrates.max_register`).
+    """
+
+    def __init__(
+        self,
+        num_readers: int,
+        initial: Any = 0,
+        pad: Optional[OneTimePadSequence] = None,
+        nonces: Optional[NonceSource] = None,
+        name: str = "amax",
+        max_substrate: str = "atomic",
+    ) -> None:
+        self.nonces = nonces or NonceSource()
+        initial_pair = Nonced(initial, self.nonces.fresh())
+        super().__init__(num_readers, initial_pair, pad, name)
+        self.M = make_max_register(max_substrate, f"{name}.M", initial_pair)
+
+    def _decode_value(self, val: Any) -> Any:
+        """Strip the nonce before a value escapes to readers/auditors.
+
+        ``V`` archives already-stripped values (writeMax line 32), so
+        only :class:`Nonced` instances need unwrapping.
+        """
+        if isinstance(val, Nonced):
+            return val.value
+        return val
+
+    def writer(self, process: Process) -> "MaxRegisterWriter":
+        return MaxRegisterWriter(self, process)
+
+    # reader()/auditor() inherited: Algorithm 2 line 21 ("same as Alg 1").
+
+
+class MaxRegisterWriter(_Handle):
+    """Writer handle implementing ``writeMax`` (Algorithm 2, lines 22-35)."""
+
+    def write_max(self, value: Any):
+        reg: AuditableMaxRegister = self.register
+        pad = reg.pad
+        v = Nonced(value, reg.nonces.fresh())  # line 23
+        yield from reg.M.write_max(v)  # line 24
+        sn = (yield from reg.SN.read()) + 1
+        while True:  # lines 25-34 (repeat)
+            word = yield from reg.R.read()  # line 26
+            if word.val >= v:  # line 27: a value >= v is already
+                sn = word.seq  # installed; adopt its seq number
+                break
+            if word.seq >= sn:  # lines 28-30: our seq number is taken
+                yield from reg.SN.compare_and_swap(sn - 1, sn)
+                sn = (yield from reg.SN.read()) + 1
+                continue
+            mval = yield from reg.M.read()  # line 31
+            # line 32: archive the current value, nonce stripped.
+            yield from reg.V[word.seq].write(word.val.value)
+            # line 33: archive its deciphered reader set.
+            for j in sorted(pad.members(word.seq, word.bits)):
+                yield from reg.B[word.seq, j].write(True)
+            # line 34: install the freshest M value with our seq number.
+            swapped = yield from reg.R.compare_and_swap(
+                word, RWord(sn, mval, pad.empty_cipher(sn))
+            )
+            if swapped:
+                break
+        yield from reg.SN.compare_and_swap(sn - 1, sn)  # line 35
+        return None
+
+    def write_max_op(self, value: Any) -> Op:
+        return Op("write_max", self.write_max, (value,))
+
+
+MaxRegisterReader = RegisterReader
+MaxRegisterAuditor = RegisterAuditor

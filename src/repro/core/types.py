@@ -1,0 +1,37 @@
+"""Shared value types for the auditable objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Any, FrozenSet, Tuple
+
+AuditPair = Tuple[int, Any]
+AuditSet = FrozenSet[AuditPair]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Nonced:
+    """A max-register value with its random nonce (Algorithm 2, line 23).
+
+    Pairs are ordered lexicographically -- first by value, then by nonce
+    -- so a larger value always wins regardless of nonces, while equal
+    values are ordered by their (unpredictable) nonces.  That
+    unpredictability is what hides the number of intermediate writes from
+    readers (Lemma 38).
+    """
+
+    value: Any
+    nonce: int
+
+    def _key(self) -> Tuple[Any, int]:
+        return (self.value, self.nonce)
+
+    def __lt__(self, other: Any) -> bool:
+        if not isinstance(other, Nonced):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __repr__(self) -> str:
+        return f"({self.value!r}, N={self.nonce})"

@@ -1,0 +1,231 @@
+"""Versioned types and their auditable transformation (Section 5.3).
+
+A type ``t = (Q, q0, I, O, f, g)`` is *versioned* when its state carries
+a version number that increases with every update and is returned by
+every read.  Any linearizable wait-free versioned implementation can be
+made auditable with the construction of Algorithm 3: funnel ``(version,
+output)`` pairs through an auditable max register; reads become max
+register reads, audits become max register audits (Theorem 13).
+
+This module provides:
+
+- :class:`TypeSpec` -- a sequential specification ``(q0, f, g)``;
+- :class:`AtomicVersionedObject` -- a linearizable wait-free versioned
+  implementation of any spec (as an atomic base object; the versioned
+  variant ``t'`` of Section 5.3);
+- :class:`AuditableVersioned` -- the auditable transformation;
+- ready-made specs: counter, logical clock, bounded key-value store.
+
+Outputs must be *totally ordered alongside equal version numbers never
+arising*: version numbers are unique, so the max-register order
+``(vn, out)`` never actually compares outputs -- but Python tuples
+require comparability on ties, hence outputs are canonical comparable
+values (ints, tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from repro.core.auditable_max_register import AuditableMaxRegister
+from repro.crypto.nonce import NonceSource
+from repro.crypto.pad import OneTimePadSequence
+from repro.memory.base import BaseObject
+from repro.sim.process import Op, Process
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """Sequential specification of a type in the class ``T``.
+
+    ``read_out`` is the paper's ``f : Q -> O``; ``apply_update`` is
+    ``g : I x Q -> Q``.  States and outputs must be hashable; outputs
+    must be comparable canonical values (see module docstring).
+    """
+
+    name: str
+    initial_state: Any
+    read_out: Callable[[Any], Any]
+    apply_update: Callable[[Any, Any], Any]
+
+
+def counter_spec() -> TypeSpec:
+    """A counter: update(d) adds d, read returns the total."""
+    return TypeSpec(
+        name="counter",
+        initial_state=0,
+        read_out=lambda q: q,
+        apply_update=lambda v, q: q + v,
+    )
+
+
+def logical_clock_spec() -> TypeSpec:
+    """A logical clock: update(t) advances to max(q, t) + 1."""
+    return TypeSpec(
+        name="logical_clock",
+        initial_state=0,
+        read_out=lambda q: q,
+        apply_update=lambda t, q: max(q, t) + 1,
+    )
+
+
+def journal_spec(window: Optional[int] = None) -> TypeSpec:
+    """An append-only journal: update(entry) appends, read returns the
+    entries (the last ``window`` of them when bounded).
+
+    Journals are the canonical versioned type -- the version number is
+    simply the number of appends -- and the auditable transformation
+    yields an event log whose *readers are themselves logged*: auditing
+    the auditors' data source.
+    """
+
+    def apply_update(entry: Any, q: Tuple) -> Tuple:
+        appended = q + (entry,)
+        if window is not None:
+            appended = appended[-window:]
+        return appended
+
+    return TypeSpec(
+        name="journal" if window is None else f"journal[{window}]",
+        initial_state=(),
+        read_out=lambda q: q,
+        apply_update=apply_update,
+    )
+
+
+def kv_store_spec() -> TypeSpec:
+    """A key-value store; state and output are sorted (key, value)
+    tuples, updates are (key, value) pairs."""
+
+    def apply_update(kv: Tuple[Any, Any], q: Tuple) -> Tuple:
+        key, value = kv
+        items = dict(q)
+        items[key] = value
+        return tuple(sorted(items.items()))
+
+    return TypeSpec(
+        name="kv_store",
+        initial_state=(),
+        read_out=lambda q: q,
+        apply_update=apply_update,
+    )
+
+
+class AtomicVersionedObject(BaseObject):
+    """The versioned variant ``t'``: state ``(q, vn)``, reads return
+    ``(f(q), vn)``, updates apply ``g`` and bump ``vn``.
+
+    Realised as an atomic base object -- the strongest faithful model of
+    "a linearizable, wait-free versioned implementation of t" that
+    Theorem 13 takes as given.
+    """
+
+    def __init__(self, name: str, spec: TypeSpec) -> None:
+        super().__init__(name)
+        self.spec = spec
+        self._state = spec.initial_state
+        self._vn = 0
+
+    def _apply_update(self, value: Any) -> None:
+        self._state = self.spec.apply_update(value, self._state)
+        self._vn += 1
+        return None
+
+    def _apply_read(self) -> Tuple[Any, int]:
+        return (self.spec.read_out(self._state), self._vn)
+
+    def update(self, value: Any):
+        return (yield from self._request("update", value))
+
+    def read(self):
+        return (yield from self._request("read"))
+
+    def peek(self) -> Tuple[Any, int]:
+        return (self.spec.read_out(self._state), self._vn)
+
+
+class AuditableVersioned:
+    """The auditable transformation of a versioned type (Theorem 13).
+
+    update(v): update the versioned object, read ``(out, vn)`` back, and
+    writeMax ``(vn, out)`` to the auditable max register.
+    read(): read the max register, return the output component.
+    audit(): audit the max register.
+    """
+
+    def __init__(
+        self,
+        spec: TypeSpec,
+        num_readers: int,
+        pad: Optional[OneTimePadSequence] = None,
+        nonces: Optional[NonceSource] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.spec = spec
+        self.name = name or f"auditable_{spec.name}"
+        self.inner = AtomicVersionedObject(f"{self.name}.T", spec)
+        initial_out = spec.read_out(spec.initial_state)
+        self.M = AuditableMaxRegister(
+            num_readers=num_readers,
+            initial=(0, initial_out),
+            pad=pad,
+            nonces=nonces,
+            name=f"{self.name}.M",
+        )
+
+    def updater(self, process: Process) -> "VersionedUpdater":
+        return VersionedUpdater(self, process)
+
+    def reader(self, process: Process, index: int) -> "VersionedReader":
+        return VersionedReader(self, process, index)
+
+    def auditor(self, process: Process) -> "VersionedAuditor":
+        return VersionedAuditor(self, process)
+
+
+class VersionedUpdater:
+    def __init__(self, obj: AuditableVersioned, process: Process) -> None:
+        self.obj = obj
+        self.process = process
+        self._writer = obj.M.writer(process)
+
+    def update(self, value: Any):
+        yield from self.obj.inner.update(value)
+        out, vn = yield from self.obj.inner.read()
+        yield from self._writer.write_max((vn, out))
+        return None
+
+    def update_op(self, value: Any) -> Op:
+        return Op("update", self.update, (value,))
+
+
+class VersionedReader:
+    def __init__(
+        self, obj: AuditableVersioned, process: Process, index: int
+    ) -> None:
+        self.obj = obj
+        self.process = process
+        self.index = index
+        self._reader = obj.M.reader(process, index)
+
+    def read(self):
+        pair = yield from self._reader.read()  # (vn, out)
+        return pair[1]
+
+    def read_op(self) -> Op:
+        return Op("read", self.read)
+
+
+class VersionedAuditor:
+    def __init__(self, obj: AuditableVersioned, process: Process) -> None:
+        self.obj = obj
+        self.process = process
+        self._auditor = obj.M.auditor(process)
+
+    def audit(self):
+        pairs = yield from self._auditor.audit()
+        return frozenset((j, vn_out[1]) for j, vn_out in pairs)
+
+    def audit_op(self) -> Op:
+        return Op("audit", self.audit)

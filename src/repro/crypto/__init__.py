@@ -1,0 +1,12 @@
+"""One-time pads and nonces.
+
+The reader-set field of the main register is encrypted with a one-time
+pad known only to writers and auditors (Section 2, One-time pads).  The
+pad's *additive malleability* is what lets a reader insert itself into
+the encrypted set with a single fetch&xor without learning the set.
+"""
+
+from repro.crypto.nonce import NonceSource
+from repro.crypto.pad import OneTimePadSequence
+
+__all__ = ["NonceSource", "OneTimePadSequence"]

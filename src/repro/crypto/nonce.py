@@ -1,0 +1,83 @@
+"""Random nonces appended to max-register values (Algorithm 2).
+
+The nonce's role is to randomise the *order gaps* between written values:
+a reader seeing values ``(w, N)`` and later ``(w', N')`` with ``w' > w``
+cannot tell how many intermediate ``writeMax`` operations occurred,
+because nonces destroy the "consecutive integers" structure the attack
+of Section 4 relies on.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class NonceSource:
+    """Seeded source of fresh random nonces.
+
+    ``bits`` controls the nonce width; with the default 62 bits the
+    collision probability over any realistic execution is negligible,
+    matching the paper's "fresh random nonce" assumption.
+    """
+
+    def __init__(self, seed: int = 0, bits: int = 62) -> None:
+        if bits <= 0:
+            raise ValueError("nonce width must be positive")
+        self.seed = seed
+        self.bits = bits
+        self._rng = random.Random(("nonce-source", seed).__hash__())
+        self._issued = 0
+
+    def fresh(self) -> int:
+        self._issued += 1
+        return self._rng.getrandbits(self.bits)
+
+    @property
+    def issued(self) -> int:
+        return self._issued
+
+
+class SequentialNonceSource(NonceSource):
+    """Deterministic counter nonces.
+
+    Used by the nonce *ablation* (experiment E6): with predictable nonces
+    the gap-inference attack of Section 4 succeeds again, demonstrating
+    that randomness -- not mere tie-breaking -- is what the defence needs.
+    """
+
+    def fresh(self) -> int:
+        self._issued += 1
+        return self._issued
+
+
+class PresetNonceSource(NonceSource):
+    """Returns a scripted nonce sequence, then falls back to random.
+
+    Used to build the paper's Lemma 38 execution pair explicitly: the
+    alternative execution replaces a ``writeMax(w)`` by ``writeMax(u)``
+    whose nonce is *chosen* larger than ``u``'s previous nonce, so the
+    install pattern -- and hence every reader's view -- is unchanged.
+    """
+
+    def __init__(self, preset, seed: int = 0, bits: int = 62) -> None:
+        super().__init__(seed=seed, bits=bits)
+        self._preset = list(preset)
+
+    def fresh(self) -> int:
+        if self._preset:
+            self._issued += 1
+            return self._preset.pop(0)
+        return super().fresh()
+
+
+class ZeroNonceSource(NonceSource):
+    """Always returns nonce 0: the "without nonce" ablation of Section 4.
+
+    With constant nonces, re-writing the current value is silent (the
+    pair compares equal, so no new sequence number is installed), which
+    restores the arithmetic structure the gap-inference attack exploits.
+    """
+
+    def fresh(self) -> int:
+        self._issued += 1
+        return 0

@@ -1,0 +1,110 @@
+"""An infinite sequence of one-time pads for encrypted reader sets.
+
+Each sequence number ``s`` has an independent uniformly random ``m``-bit
+mask ``rand_s``.  Encrypting the empty reader set is storing the mask
+itself; inserting reader ``j`` XORs bit ``j`` (additive malleability);
+decrypting compares against the mask bit by bit.
+
+The paper's pads are true random strings shared out-of-band between
+writers and auditors.  We substitute a seeded PRG sequence (DESIGN.md,
+Section 2): the distribution observed by readers -- who never hold the
+seed -- is identical, and executions stay replayable.  The leakage
+experiments (E4/E5) quantify empirical attacker advantage across many
+pad seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, List
+
+
+class OneTimePadSequence:
+    """Lazily generated sequence of independent m-bit masks.
+
+    Masks are generated strictly in order, so ``mask(s)`` is a pure
+    function of ``(seed, num_readers, s)`` regardless of access pattern.
+    """
+
+    def __init__(self, num_readers: int, seed: int = 0) -> None:
+        if num_readers < 0:
+            raise ValueError("num_readers must be non-negative")
+        self.num_readers = num_readers
+        self.seed = seed
+        self._rng = random.Random(("one-time-pad", seed, num_readers).__hash__())
+        self._masks: List[int] = []
+
+    def mask(self, s: int) -> int:
+        """The pad ``rand_s`` for sequence number ``s``."""
+        if s < 0:
+            raise IndexError("sequence numbers are non-negative")
+        while len(self._masks) <= s:
+            self._masks.append(self._rng.getrandbits(max(self.num_readers, 1))
+                               if self.num_readers else 0)
+        return self._masks[s]
+
+    # -- encryption of reader sets ---------------------------------------
+
+    def empty_cipher(self, s: int) -> int:
+        """Ciphertext of the empty reader set under mask ``rand_s``."""
+        return self.mask(s)
+
+    @staticmethod
+    def insert(cipher: int, reader: int) -> int:
+        """Insert ``reader`` into an encrypted set (flip its bit).
+
+        This is the malleability the algorithm exploits: it needs no key,
+        so a reader can apply it -- via fetch&xor -- without decrypting.
+        """
+        return cipher ^ (1 << reader)
+
+    def members(self, s: int, cipher: int) -> FrozenSet[int]:
+        """Decrypt: readers whose bit differs from the mask ``rand_s``."""
+        diff = cipher ^ self.mask(s)
+        return frozenset(
+            j for j in range(self.num_readers) if diff & (1 << j)
+        )
+
+    def is_member(self, s: int, cipher: int, reader: int) -> bool:
+        if not 0 <= reader < self.num_readers:
+            raise IndexError(f"reader {reader} out of range")
+        return bool((cipher ^ self.mask(s)) & (1 << reader))
+
+    def encode(self, s: int, readers: Iterable[int]) -> int:
+        """Ciphertext of an arbitrary reader set (test helper)."""
+        cipher = self.mask(s)
+        for j in readers:
+            if not 0 <= j < self.num_readers:
+                raise IndexError(f"reader {j} out of range")
+            cipher ^= 1 << j
+        return cipher
+
+    def fork(self, flip_seq: int, flip_reader: int) -> "_FlippedPad":
+        """A pad identical except bit ``flip_reader`` of ``rand_flip_seq``
+        is flipped.
+
+        This constructs the alternative pad used in the proof of Lemma 7:
+        an execution where reader ``k``'s fetch&xor is removed is
+        indistinguishable to every other reader once the k-th bit of the
+        corresponding mask is flipped.  The leakage checker uses it to
+        build the paper's indistinguishable execution explicitly.
+        """
+        return _FlippedPad(self, flip_seq, flip_reader)
+
+
+class _FlippedPad(OneTimePadSequence):
+    """Pad sequence equal to a base pad with one bit flipped."""
+
+    def __init__(
+        self, base: OneTimePadSequence, flip_seq: int, flip_reader: int
+    ) -> None:
+        super().__init__(base.num_readers, base.seed)
+        self._base = base
+        self._flip_seq = flip_seq
+        self._flip_reader = flip_reader
+
+    def mask(self, s: int) -> int:
+        value = self._base.mask(s)
+        if s == self._flip_seq:
+            value ^= 1 << self._flip_reader
+        return value

@@ -1,0 +1,16 @@
+"""Experiment harness: the drivers behind every benchmark.
+
+Each experiment Ex of DESIGN.md has a ``run_ex(...)`` function in
+:mod:`repro.harness.experiments` returning an
+:class:`~repro.harness.experiment.ExperimentResult` (named rows plus a
+rendered table).  Benchmarks call the same drivers, so the numbers in
+EXPERIMENTS.md regenerate with::
+
+    python -m repro.harness.experiments          # all experiments
+    python -m repro.harness.experiments E1 E4    # a subset
+"""
+
+from repro.harness.experiment import ExperimentResult, registry
+from repro.harness.tables import render_table
+
+__all__ = ["ExperimentResult", "registry", "render_table"]

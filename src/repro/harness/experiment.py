@@ -1,0 +1,61 @@
+"""Experiment results and the experiment registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.harness.tables import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: named rows plus pass/fail claims."""
+
+    experiment: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    columns: Sequence[str] = ()
+    claims: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(self.claims.values())
+
+    def table(self) -> str:
+        return render_table(self.rows, self.columns)
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(self.table())
+        if self.claims:
+            lines.append("")
+            for claim, held in sorted(self.claims.items()):
+                mark = "PASS" if held else "FAIL"
+                lines.append(f"  [{mark}] {claim}")
+        if self.notes:
+            lines.append("")
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str):
+    """Decorator registering an experiment driver under a name."""
+
+    def deco(fn: Callable[..., ExperimentResult]):
+        _REGISTRY[name.upper()] = fn
+        return fn
+
+    return deco
+
+
+def registry() -> Dict[str, Callable[..., ExperimentResult]]:
+    return dict(_REGISTRY)
+
+
+def run(name: str, **kwargs: Any) -> ExperimentResult:
+    return _REGISTRY[name.upper()](**kwargs)

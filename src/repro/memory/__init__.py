@@ -1,0 +1,36 @@
+"""Atomic base objects of the shared memory.
+
+All primitives execute atomically (the scheduler applies one per step)
+and are recorded in the history.  Algorithm code accesses them through
+generator wrappers, e.g. ``value = yield from register.read()``.
+
+Provided objects mirror the paper's base-object requirements:
+
+- :class:`AtomicRegister` -- read/write.
+- :class:`CasRegister` -- read/write/compare&swap (used for ``SN``).
+- :class:`MainRegister` -- the register ``R`` holding an
+  :class:`RWord` triple *(sequence number, value, m-bit string)* and
+  supporting read, compare&swap and fetch&xor (the fetch&xor argument is
+  XOR-ed into the tracking-bit field only, as in the paper where the last
+  m bits of R track readers).
+- :class:`RegisterArray` / :class:`BitMatrix` -- the unbounded arrays
+  ``V[0..inf]`` and ``B[0..inf][0..m-1]``, materialised lazily.
+"""
+
+from repro.memory.base import BOTTOM, BaseObject, Bottom
+from repro.memory.register import AtomicRegister, CasRegister
+from repro.memory.rword import RWord
+from repro.memory.main_register import MainRegister
+from repro.memory.array import BitMatrix, RegisterArray
+
+__all__ = [
+    "AtomicRegister",
+    "BOTTOM",
+    "BaseObject",
+    "BitMatrix",
+    "Bottom",
+    "CasRegister",
+    "MainRegister",
+    "RWord",
+    "RegisterArray",
+]

@@ -1,0 +1,67 @@
+"""Unbounded register arrays ``V[0..inf]`` and ``B[0..inf][0..m-1]``.
+
+The paper assumes infinitely many pre-allocated registers; we materialise
+them lazily.  Materialisation is not a shared-memory step: indexing an
+array is local computation, only the subsequent read/write of the
+returned register is a primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.memory.base import BOTTOM
+from repro.memory.register import AtomicRegister
+
+
+class RegisterArray:
+    """Lazy unbounded array of atomic registers, all initially
+    ``default``."""
+
+    def __init__(self, name: str, default: Any = BOTTOM) -> None:
+        self.name = name
+        self.default = default
+        self._cells: Dict[int, AtomicRegister] = {}
+
+    def __getitem__(self, index: int) -> AtomicRegister:
+        if index < 0:
+            raise IndexError(f"{self.name}[{index}]: negative index")
+        cell = self._cells.get(index)
+        if cell is None:
+            cell = AtomicRegister(f"{self.name}[{index}]", self.default)
+            self._cells[index] = cell
+        return cell
+
+    def materialised(self) -> Dict[int, AtomicRegister]:
+        return dict(self._cells)
+
+
+class BitMatrix:
+    """Lazy unbounded matrix of boolean registers, all initially False.
+
+    ``matrix[s, j]`` is the register ``B[s][j]`` recording that reader
+    ``j`` read the value with sequence number ``s``.
+    """
+
+    def __init__(self, name: str, width: int) -> None:
+        self.name = name
+        self.width = width
+        self._cells: Dict[Tuple[int, int], AtomicRegister] = {}
+
+    def __getitem__(self, key: Tuple[int, int]) -> AtomicRegister:
+        s, j = key
+        if s < 0:
+            raise IndexError(f"{self.name}[{s}]: negative sequence number")
+        if not 0 <= j < self.width:
+            raise IndexError(
+                f"{self.name}[{s}][{j}]: reader index out of range "
+                f"(m={self.width})"
+            )
+        cell = self._cells.get((s, j))
+        if cell is None:
+            cell = AtomicRegister(f"{self.name}[{s}][{j}]", False)
+            self._cells[(s, j)] = cell
+        return cell
+
+    def materialised(self) -> Dict[Tuple[int, int], AtomicRegister]:
+        return dict(self._cells)

@@ -1,0 +1,59 @@
+"""The main register ``R`` of Algorithms 1 and 2.
+
+Supports ``read``, ``compare&swap`` and ``fetch&xor``.  The fetch&xor
+argument is XOR-ed into the tracking-bit field of the stored
+:class:`~repro.memory.rword.RWord` and the *previous* triple is returned,
+mirroring the paper's layout where the last ``m`` bits of ``R`` track the
+readers of the current value: flipping bit ``j`` leaves the sequence
+number and value fields intact.
+
+``fetch&xor`` is a standard ISO C++ atomic (``atomic_fetch_xor``); the
+combination read-the-word-and-flip-my-bit is what fuses value access with
+access logging into one atomic primitive -- the paper's key mechanism for
+making reads auditable the instant they become effective.
+"""
+
+from __future__ import annotations
+
+from repro.memory.base import BaseObject
+from repro.memory.rword import RWord
+
+
+class MainRegister(BaseObject):
+    """Register holding an :class:`RWord` with read / CAS / fetch&xor."""
+
+    def __init__(self, name: str, initial: RWord) -> None:
+        super().__init__(name)
+        if not isinstance(initial, RWord):
+            raise TypeError("MainRegister holds RWord triples")
+        self._word = initial
+
+    # primitive implementations
+
+    def _apply_read(self) -> RWord:
+        return self._word
+
+    def _apply_compare_and_swap(self, old: RWord, new: RWord) -> bool:
+        if self._word == old:
+            self._word = new
+            return True
+        return False
+
+    def _apply_fetch_xor(self, mask: int) -> RWord:
+        old = self._word
+        self._word = old.with_bits(old.bits ^ mask)
+        return old
+
+    # generator wrappers
+
+    def read(self):
+        return (yield from self._request("read"))
+
+    def compare_and_swap(self, old: RWord, new: RWord):
+        return (yield from self._request("compare_and_swap", old, new))
+
+    def fetch_xor(self, mask: int):
+        return (yield from self._request("fetch_xor", mask))
+
+    def peek(self) -> RWord:
+        return self._word

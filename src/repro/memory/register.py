@@ -1,0 +1,82 @@
+"""Read/write and compare&swap registers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.memory.base import BaseObject
+
+
+class AtomicRegister(BaseObject):
+    """Atomic register supporting ``read`` and ``write``."""
+
+    def __init__(self, name: str, initial: Any = None) -> None:
+        super().__init__(name)
+        self._value = initial
+
+    # primitive implementations (run atomically under the scheduler)
+
+    def _apply_read(self) -> Any:
+        return self._value
+
+    def _apply_write(self, value: Any) -> None:
+        self._value = value
+        return None
+
+    # generator wrappers for algorithm code
+
+    def read(self):
+        return (yield from self._request("read"))
+
+    def write(self, value: Any):
+        return (yield from self._request("write", value))
+
+    def peek(self) -> Any:
+        return self._value
+
+
+class CasRegister(AtomicRegister):
+    """Register additionally supporting ``compare&swap``.
+
+    ``compare&swap(old, new)`` atomically compares the current value with
+    ``old`` and, if equal, replaces it with ``new``; it returns whether
+    the swap happened (the paper's conditional semantics).
+    """
+
+    def _apply_compare_and_swap(self, old: Any, new: Any) -> bool:
+        if self._value == old:
+            self._value = new
+            return True
+        return False
+
+    def compare_and_swap(self, old: Any, new: Any):
+        return (yield from self._request("compare_and_swap", old, new))
+
+
+class SwapRegister(AtomicRegister):
+    """Register additionally supporting atomic ``swap`` (used by the
+    OPODIS'23-style baseline, which avoids universal primitives)."""
+
+    def _apply_swap(self, new: Any) -> Any:
+        old = self._value
+        self._value = new
+        return old
+
+    def swap(self, new: Any):
+        return (yield from self._request("swap", new))
+
+
+class FetchAddRegister(AtomicRegister):
+    """Integer register with atomic ``fetch&add`` (baseline building
+    block; consensus number 2, i.e. non-universal)."""
+
+    def __init__(self, name: str, initial: int = 0) -> None:
+        super().__init__(name, initial)
+
+    def _apply_fetch_and_add(self, delta: int) -> int:
+        old = self._value
+        self._value = old + delta
+        return old
+
+    def fetch_and_add(self, delta: int):
+        return (yield from self._request("fetch_and_add", delta))

@@ -1,0 +1,30 @@
+"""The value triple stored in the main register ``R``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class RWord:
+    """Contents of ``R``: *(sequence number, value, m tracking bits)*.
+
+    ``bits`` is the encrypted reader set: an ``m``-bit integer that was
+    initialised to the one-time-pad mask ``rand_seq`` by the write that
+    installed this value, and into which reader ``j`` is inserted by
+    XOR-ing bit ``j`` (the paper's ``fetch&xor(2^j)``).
+
+    The triple is immutable; compare&swap compares triples structurally,
+    exactly like a hardware word comparison of all fields.
+    """
+
+    seq: int
+    val: Any
+    bits: int
+
+    def with_bits(self, bits: int) -> "RWord":
+        return RWord(self.seq, self.val, bits)
+
+    def __repr__(self) -> str:
+        return f"(seq={self.seq}, val={self.val!r}, bits={self.bits:#x})"

@@ -1,0 +1,119 @@
+"""Processes: sequential programs driven one primitive at a time.
+
+A process executes a sequence of high-level operations (:class:`Op`).
+Each operation is a generator; every ``yield`` hands a
+:class:`~repro.sim.events.PendingPrimitive` to the scheduler, which
+applies it atomically and sends back the result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import PendingPrimitive
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    IDLE = "idle"  # no operation in progress, more ops queued
+    RUNNING = "running"  # an operation is in progress
+    DONE = "done"  # program exhausted
+    CRASHED = "crashed"  # stopped taking steps (pending op stays pending)
+
+
+@dataclass
+class Op:
+    """A high-level operation to perform: ``factory(*args)`` must return a
+    generator implementing the operation."""
+
+    name: str
+    factory: Callable[..., Generator]
+    args: Tuple[Any, ...] = ()
+
+    def start(self) -> Generator:
+        gen = self.factory(*self.args)
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"operation {self.name!r} did not return a generator; "
+                "algorithm methods must be generator functions"
+            )
+        return gen
+
+
+@dataclass
+class Process:
+    """One simulated sequential process.
+
+    Processes are created through :meth:`repro.sim.runner.Simulation.spawn`
+    and given a program with :meth:`assign`.  The scheduler interacts with
+    a process only through :meth:`has_work` and the runner's stepping
+    logic; user code interacts with it through handles bound to it (e.g.
+    ``register.reader(process)``).
+    """
+
+    pid: str
+    _program: List[Op] = field(default_factory=list)
+    _next_op: int = 0
+    _op_counter: int = 0
+
+    state: ProcessState = ProcessState.IDLE
+    gen: Optional[Generator] = None
+    current_op: Optional[Op] = None
+    current_op_id: Optional[int] = None
+    pending: Optional[PendingPrimitive] = None
+    steps_in_current_op: int = 0
+
+    def assign(self, ops) -> "Process":
+        """Append operations to this process's program."""
+        self._program.extend(ops)
+        if self.state is ProcessState.DONE:
+            self.state = ProcessState.IDLE
+        return self
+
+    def has_work(self) -> bool:
+        if self.state is ProcessState.CRASHED:
+            return False
+        return self.gen is not None or self._next_op < len(self._program)
+
+    def is_mid_operation(self) -> bool:
+        return self.gen is not None
+
+    def remaining_ops(self) -> int:
+        return len(self._program) - self._next_op
+
+    # -- internal, used by Simulation ------------------------------------
+
+    def _begin_next_op(self) -> Op:
+        op = self._program[self._next_op]
+        self._next_op += 1
+        self.current_op = op
+        self.current_op_id = self._op_counter
+        self._op_counter += 1
+        self.gen = op.start()
+        self.state = ProcessState.RUNNING
+        self.steps_in_current_op = 0
+        return op
+
+    def _finish_op(self) -> None:
+        self.gen = None
+        self.current_op = None
+        self.current_op_id = None
+        self.pending = None
+        if self._next_op < len(self._program):
+            self.state = ProcessState.IDLE
+        else:
+            self.state = ProcessState.DONE
+
+    def _crash(self) -> None:
+        self.state = ProcessState.CRASHED
+        if self.gen is not None:
+            self.gen.close()
+            self.gen = None
+        self.pending = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        op = self.current_op.name if self.current_op else None
+        return f"Process({self.pid!r}, state={self.state.value}, op={op})"

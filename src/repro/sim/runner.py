@@ -1,0 +1,202 @@
+"""The simulation driver: processes + schedule -> history.
+
+One :meth:`Simulation.step` performs, for the chosen process, exactly one
+of:
+
+- *invocation*: start the process's next operation and run its local
+  computation up to the first primitive (no primitive executes);
+- *primitive*: atomically apply the pending primitive, record it, and run
+  local computation up to the next suspension; if the operation finishes,
+  record its response in the same step.
+
+This matches the paper's step granularity (local computation is free;
+one primitive per step), while giving fine-grained control: attacks pause
+or crash processes between specific primitives, and experiments can
+single-step executions to place linearization points precisely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.events import PendingPrimitive
+from repro.sim.history import History
+from repro.sim.process import Op, Process, ProcessState
+from repro.sim.scheduler import RoundRobinSchedule, Schedule
+
+
+class StepBudgetExceeded(RuntimeError):
+    """Raised when a simulation exceeds its step budget.
+
+    For wait-free algorithms this indicates a bug (or a deliberately
+    unfair experiment); the wait-freedom tests rely on generous budgets
+    never being hit.
+    """
+
+
+class Simulation:
+    """A shared-memory system: a set of processes and a schedule."""
+
+    def __init__(
+        self,
+        schedule: Optional[Schedule] = None,
+        max_steps: int = 1_000_000,
+    ) -> None:
+        self.schedule = schedule or RoundRobinSchedule()
+        self.max_steps = max_steps
+        self.history = History()
+        self.processes: Dict[str, Process] = {}
+        self._steps_taken = 0
+
+    # -- construction -----------------------------------------------------
+
+    def spawn(self, pid: str) -> Process:
+        """Create a process; pids must be unique."""
+        if pid in self.processes:
+            raise ValueError(f"duplicate pid {pid!r}")
+        process = Process(pid=pid)
+        self.processes[pid] = process
+        return process
+
+    def add_program(self, pid: str, ops: List[Op]) -> Process:
+        """Spawn (or extend) a process with a list of operations."""
+        process = self.processes.get(pid) or self.spawn(pid)
+        process.assign(ops)
+        return process
+
+    # -- control ----------------------------------------------------------
+
+    def crash(self, pid: str) -> None:
+        """Stop a process; its pending operation stays pending forever.
+
+        Models the honest-but-curious attacker that "stops prematurely"
+        as well as ordinary crash failures.
+        """
+        process = self.processes[pid]
+        op_id = process.current_op_id
+        process._crash()
+        self.history.record_crash(pid, op_id)
+
+    def runnable(self) -> List[Process]:
+        return [p for p in self.processes.values() if p.has_work()]
+
+    def step(self) -> bool:
+        """Advance one scheduler step.  Returns False when nothing runs."""
+        runnable = self.runnable()
+        if not runnable:
+            return False
+        if self._steps_taken >= self.max_steps:
+            raise StepBudgetExceeded(
+                f"exceeded {self.max_steps} steps; pending processes: "
+                f"{[p.pid for p in runnable]}"
+            )
+        self._steps_taken += 1
+        process = self.schedule.choose(runnable, self._steps_taken)
+        self._advance(process)
+        return True
+
+    def step_process(self, pid: str) -> bool:
+        """Advance a specific process one step (bypassing the schedule).
+
+        Used by attacks and hand-crafted interleavings.  Returns False if
+        the process has no work.
+        """
+        process = self.processes[pid]
+        if not process.has_work():
+            return False
+        self._steps_taken += 1
+        self._advance(process)
+        return True
+
+    def run(self, max_steps: Optional[int] = None) -> History:
+        """Run until all processes finish (or the budget is exhausted)."""
+        remaining = max_steps
+        while True:
+            if remaining is not None:
+                if remaining <= 0:
+                    break
+                remaining -= 1
+            if not self.step():
+                break
+        return self.history
+
+    def run_process(self, pid: str, ops: Optional[int] = None) -> History:
+        """Run a single process to completion of ``ops`` operations
+        (all remaining when None), ignoring the schedule."""
+        process = self.processes[pid]
+        target = (
+            None
+            if ops is None
+            else process._op_counter + ops - (1 if process.gen else 0)
+        )
+        while process.has_work():
+            if (
+                target is not None
+                and process.gen is None
+                and process._op_counter >= target
+            ):
+                break
+            self.step_process(pid)
+        return self.history
+
+    @property
+    def steps_taken(self) -> int:
+        return self._steps_taken
+
+    # -- internals ---------------------------------------------------------
+
+    def _advance(self, process: Process) -> None:
+        if process.gen is None:
+            op = process._begin_next_op()
+            self.history.record_invocation(
+                process.pid, process.current_op_id, op.name, op.args
+            )
+            self._resume(process, first=True)
+        else:
+            pending = process.pending
+            if pending is None:
+                raise RuntimeError(
+                    f"{process.pid} is mid-operation without a pending "
+                    "primitive; algorithm generators must yield "
+                    "PendingPrimitive"
+                )
+            result = self._apply(process, pending)
+            self._resume(process, value=result)
+
+    def _apply(self, process: Process, pending: PendingPrimitive) -> Any:
+        result = pending.obj.apply(pending.primitive, pending.args)
+        self.history.record_primitive(
+            process.pid,
+            process.current_op_id,
+            pending.obj.name,
+            pending.primitive,
+            pending.args,
+            result,
+        )
+        process.steps_in_current_op += 1
+        return result
+
+    def _resume(
+        self, process: Process, value: Any = None, first: bool = False
+    ) -> None:
+        try:
+            if first:
+                yielded = next(process.gen)
+            else:
+                yielded = process.gen.send(value)
+        except StopIteration as stop:
+            result = stop.value
+            self.history.record_response(
+                process.pid,
+                process.current_op_id,
+                process.current_op.name,
+                result,
+            )
+            process._finish_op()
+            return
+        if not isinstance(yielded, PendingPrimitive):
+            raise TypeError(
+                f"{process.pid} yielded {yielded!r}; algorithm code must "
+                "yield PendingPrimitive (use `yield from obj.primitive()`)"
+            )
+        process.pending = yielded

@@ -1,0 +1,210 @@
+"""Schedules: the adversary choosing which process steps next.
+
+The paper quantifies over *all* executions; a schedule is our adversary
+generating one.  Schedules see the runnable processes (including the
+primitive each is about to apply, via ``Process.pending``) and pick one.
+
+Provided policies:
+
+- :class:`RoundRobinSchedule` -- fair, deterministic.
+- :class:`RandomSchedule` -- seeded uniform choice; sweeping seeds
+  samples the execution space.
+- :class:`ReplaySchedule` -- replays an explicit pid sequence (used to
+  construct the paper's hand-crafted interleavings in tests).
+- :class:`PrioritySchedule` -- weighted random choice; used for reader
+  storms (E1) and writer-starved scenarios.
+- :class:`InterposingSchedule` -- schedules a victim process until it is
+  about to apply a primitive matching a predicate, then lets attackers
+  run; used to build worst-case write-retry executions (Lemma 2's bound).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.process import Process
+
+
+class Schedule:
+    """Base class: pick the next process to step."""
+
+    def choose(self, runnable: List[Process], step_index: int) -> Process:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget internal state (called when a simulation restarts)."""
+
+
+class RoundRobinSchedule(Schedule):
+    """Cycle through runnable processes in pid order."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, runnable: List[Process], step_index: int) -> Process:
+        ordered = sorted(runnable, key=lambda p: p.pid)
+        process = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return process
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class RandomSchedule(Schedule):
+    """Uniform seeded random choice among runnable processes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, runnable: List[Process], step_index: int) -> Process:
+        return self._rng.choice(sorted(runnable, key=lambda p: p.pid))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class ReplaySchedule(Schedule):
+    """Replay an explicit sequence of pids.
+
+    When the scripted pid is not runnable (or the script is exhausted),
+    falls back to the first runnable process; strict mode raises instead.
+    """
+
+    def __init__(self, pids: Sequence[str], strict: bool = False) -> None:
+        self.pids = list(pids)
+        self.strict = strict
+        self._cursor = 0
+
+    def choose(self, runnable: List[Process], step_index: int) -> Process:
+        by_pid = {p.pid: p for p in runnable}
+        while self._cursor < len(self.pids):
+            pid = self.pids[self._cursor]
+            self._cursor += 1
+            if pid in by_pid:
+                return by_pid[pid]
+            if self.strict:
+                raise RuntimeError(
+                    f"replay schedule expected {pid!r} to be runnable at "
+                    f"step {step_index}; runnable: {sorted(by_pid)}"
+                )
+        if self.strict:
+            raise RuntimeError("replay schedule exhausted")
+        return min(runnable, key=lambda p: p.pid)
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class PrioritySchedule(Schedule):
+    """Weighted seeded random choice.
+
+    ``weights`` maps pid prefixes to relative weights; a process's weight
+    is the weight of the longest matching prefix (default 1.0).  Giving
+    readers weight 20 and the writer weight 1 produces the read-storm
+    adversary of experiment E1.
+    """
+
+    def __init__(
+        self, weights: Dict[str, float], seed: int = 0, default: float = 1.0
+    ) -> None:
+        self.weights = dict(weights)
+        self.default = default
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def _weight(self, pid: str) -> float:
+        best_len = -1
+        best = self.default
+        for prefix, weight in self.weights.items():
+            if pid.startswith(prefix) and len(prefix) > best_len:
+                best_len = len(prefix)
+                best = weight
+        return best
+
+    def choose(self, runnable: List[Process], step_index: int) -> Process:
+        ordered = sorted(runnable, key=lambda p: p.pid)
+        weights = [self._weight(p.pid) for p in ordered]
+        return self._rng.choices(ordered, weights=weights, k=1)[0]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class InterposingSchedule(Schedule):
+    """Adversary that interposes attacker steps before a victim primitive.
+
+    Runs ``victim`` until its next pending primitive satisfies
+    ``trigger``; at that point lets each process in ``interposers`` take
+    ``burst`` steps, then allows the victim's primitive.  This builds the
+    worst case for the write loop of Algorithm 1: a reader's fetch&xor is
+    interposed between the writer's read of R and its compare&swap, making
+    the compare&swap fail (once per reader, so at most m failures --
+    Lemma 2's bound is m+1 iterations).
+    """
+
+    def __init__(
+        self,
+        victim: str,
+        interposers: Sequence[str],
+        trigger: Callable[[object], bool],
+        burst: int = 1,
+    ) -> None:
+        self.victim = victim
+        self.interposers = list(interposers)
+        self.trigger = trigger
+        self.burst = burst
+        self._queue: List[str] = []
+        self._finishing: Optional[str] = None
+        self._interposed_for: Optional[object] = None
+
+    def choose(self, runnable: List[Process], step_index: int) -> Process:
+        by_pid = {p.pid: p for p in runnable}
+        # Let the current interposer finish its whole operation first.
+        if self._finishing is not None:
+            process = by_pid.get(self._finishing)
+            if process is not None and process.is_mid_operation():
+                return process
+            self._finishing = None
+        while self._queue:
+            pid = self._queue.pop(0)
+            if pid in by_pid:
+                self._finishing = pid
+                return by_pid[pid]
+        victim = by_pid.get(self.victim)
+        if victim is None:
+            return min(runnable, key=lambda p: p.pid)
+        pending = victim.pending
+        if (
+            pending is not None
+            and pending is not self._interposed_for
+            and self.trigger(pending)
+        ):
+            # Interpose once per distinct pending primitive: each retry
+            # of the victim (a fresh yield) can be interposed again.
+            self._interposed_for = pending
+            queued = [
+                pid
+                for _ in range(self.burst)
+                for pid in self.interposers
+                if pid in by_pid
+            ]
+            if queued:
+                self._finishing = queued[0]
+                self._queue = queued[1:]
+                return by_pid[queued[0]]
+        return victim
+
+    def reset(self) -> None:
+        self._queue = []
+        self._finishing = None
+        self._interposed_for = None
+
+
+def schedule_from_seed(seed: Optional[int]) -> Schedule:
+    """Convenience: ``None`` -> round robin, int -> seeded random."""
+    if seed is None:
+        return RoundRobinSchedule()
+    return RandomSchedule(seed)

@@ -1,0 +1,19 @@
+"""Substrates: the non-auditable building blocks the paper cites.
+
+- :mod:`repro.substrates.max_register` -- the wait-free max register
+  ``M`` used by Algorithm 2 (cited as Aspnes-Attiya-Censor-Hillel [2]).
+- :mod:`repro.substrates.snapshot` -- the wait-free atomic snapshot
+  ``S`` used by Algorithm 3 (cited as Afek et al. [1]).
+- :mod:`repro.substrates.consensus` -- consensus from an auditable
+  register, demonstrating the synchronization power of auditing ([5]).
+"""
+
+from repro.substrates.max_register import AtomicMaxRegister, CasMaxRegister
+from repro.substrates.snapshot import AfekSnapshot, AtomicSnapshot
+
+__all__ = [
+    "AfekSnapshot",
+    "AtomicMaxRegister",
+    "AtomicSnapshot",
+    "CasMaxRegister",
+]

@@ -1,0 +1,80 @@
+"""Consensus from an auditable register (after [5]).
+
+Attiya et al. (OPODIS 2023) prove that auditable registers add
+synchronization power: auditing plus reading/writing solves consensus,
+which is why Algorithm 1 *must* rely on universal primitives like
+compare&swap.  This module demonstrates that power constructively with a
+wait-free 2-process consensus protocol between a reader and a
+writer-auditor, using one auditable register plus one plain register
+(consensus number 1 on its own):
+
+- the reader ``p_r`` publishes its proposal in a plain register, then
+  performs a single ``read`` of the auditable register ``A``; if it
+  obtained the initial value ``⊥`` it decides its *own* proposal,
+  otherwise it decides the value it read (the writer's proposal);
+- the writer ``p_w`` writes its proposal to ``A``, then audits; if the
+  audit reports that the reader read ``⊥``, the reader's read linearized
+  before the write, so ``p_w`` decides the reader's (published)
+  proposal; otherwise every read by the reader is linearized after the
+  write and returns ``p_w``'s proposal, so ``p_w`` decides its own.
+
+Agreement hinges exactly on the paper's audit exactness: the audit
+reports the reader's read *iff* it is effective and linearized before
+the audit (which follows the write).  Experiment E9 checks agreement,
+validity and wait-freedom over random schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.auditable_register import AuditableRegister
+from repro.crypto.pad import OneTimePadSequence
+from repro.memory.base import BOTTOM
+from repro.memory.register import AtomicRegister
+from repro.sim.process import Op, Process
+from repro.sim.runner import Simulation
+
+
+class AuditableConsensus:
+    """One-shot binary (in fact multi-valued) consensus for two
+    processes: one reader, one writer-auditor."""
+
+    def __init__(
+        self,
+        name: str = "cons",
+        pad: Optional[OneTimePadSequence] = None,
+    ) -> None:
+        self.name = name
+        self.A = AuditableRegister(
+            num_readers=1, initial=BOTTOM, pad=pad, name=f"{name}.A"
+        )
+        self.P = AtomicRegister(f"{name}.P", BOTTOM)  # reader's proposal
+
+    def reader_propose(self, process: Process):
+        reader = self.A.reader(process, 0)
+
+        def propose(value: Any):
+            yield from self.P.write(value)
+            seen = yield from reader.read()
+            if seen is BOTTOM:
+                return value
+            return seen
+
+        return propose
+
+    def writer_propose(self, process: Process):
+        writer = self.A.writer(process)
+        auditor = self.A.auditor(process)
+
+        def propose(value: Any):
+            yield from writer.write(value)
+            report = yield from auditor.audit()
+            if (0, BOTTOM) in report:
+                # The reader read ⊥ before our write: it decided its own
+                # proposal, published in P before its read.
+                other = yield from self.P.read()
+                return other
+            return value
+
+        return propose

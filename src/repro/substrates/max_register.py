@@ -1,0 +1,87 @@
+"""Non-auditable max registers: the substrate ``M`` of Algorithm 2.
+
+The paper uses a linearizable wait-free max register as a black box
+(citing Aspnes, Attiya and Censor-Hillel [2]).  We provide two faithful
+stand-ins (DESIGN.md, Section 2):
+
+- :class:`AtomicMaxRegister` -- a base object whose ``writeMax`` is a
+  single atomic primitive.  This is the strongest faithful model of the
+  cited construction and the default substrate.
+- :class:`CasMaxRegister` -- a constructive CAS-loop implementation.
+  It is lock-free rather than wait-free (a writeMax may retry while
+  larger values keep landing -- but then the register is growing, so the
+  retry loop also exits as soon as the current value reaches its input).
+  Benchmark B5 compares the two substrates inside Algorithm 2.
+
+Both expose the same generator API: ``write_max(v)`` and ``read()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.memory.base import BaseObject
+from repro.memory.register import CasRegister
+
+
+class AtomicMaxRegister(BaseObject):
+    """Max register as an atomic base object."""
+
+    def __init__(self, name: str, initial: Any) -> None:
+        super().__init__(name)
+        self._value = initial
+
+    def _apply_read(self) -> Any:
+        return self._value
+
+    def _apply_write_max(self, value: Any) -> None:
+        if value > self._value:
+            self._value = value
+        return None
+
+    def read(self):
+        return (yield from self._request("read"))
+
+    def write_max(self, value: Any):
+        return (yield from self._request("write_max", value))
+
+    def peek(self) -> Any:
+        return self._value
+
+
+class CasMaxRegister:
+    """Max register built from a compare&swap register.
+
+    ``writeMax(v)`` repeatedly reads the current value and, while it is
+    smaller than ``v``, tries to CAS it up to ``v``.  Every failed CAS
+    means the register grew, so the loop terminates once the stored value
+    reaches ``v`` -- no unbounded retries against a fixed value.
+    """
+
+    def __init__(self, name: str, initial: Any) -> None:
+        self.name = name
+        self._reg = CasRegister(f"{name}.cell", initial)
+
+    def read(self):
+        return (yield from self._reg.read())
+
+    def write_max(self, value: Any):
+        while True:
+            current = yield from self._reg.read()
+            if current >= value:
+                return None
+            swapped = yield from self._reg.compare_and_swap(current, value)
+            if swapped:
+                return None
+
+    def peek(self) -> Any:
+        return self._reg.peek()
+
+
+def make_max_register(kind: str, name: str, initial: Any):
+    """Factory used by the substrate ablation (benchmark B5)."""
+    if kind == "atomic":
+        return AtomicMaxRegister(name, initial)
+    if kind == "cas":
+        return CasMaxRegister(name, initial)
+    raise ValueError(f"unknown max-register substrate {kind!r}")

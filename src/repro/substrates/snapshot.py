@@ -1,0 +1,130 @@
+"""Non-auditable atomic snapshots: the substrate ``S`` of Algorithm 3.
+
+The paper uses a linearizable wait-free snapshot as a black box (citing
+Afek, Attiya, Dolev, Gafni, Merritt and Shavit [1]).  Two faithful
+stand-ins:
+
+- :class:`AfekSnapshot` -- the classic construction, implemented from
+  single-writer atomic registers: updates embed a full scan (helping),
+  and a scanner either completes a successful *double collect* (two
+  identical collects with no interleaved update) or *borrows* the view
+  embedded by a process it saw move twice, which must have performed a
+  complete scan inside the scanner's interval.  Wait-free: at most n+2
+  collects per scan.
+- :class:`AtomicSnapshot` -- snapshot as an atomic base object, for the
+  substrate ablation.
+
+Both expose generator methods ``update(i, data)`` and ``scan()``
+returning a tuple view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.memory.base import BOTTOM, BaseObject
+from repro.memory.register import AtomicRegister
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """Contents of one component register: data, a per-writer write
+    counter, and the view embedded by the writing update."""
+
+    data: Any
+    seq: int
+    view: Optional[Tuple[Any, ...]]
+
+
+class AfekSnapshot:
+    """Afek et al. single-writer atomic snapshot from atomic registers."""
+
+    def __init__(self, name: str, components: int, initial: Any = BOTTOM):
+        if components < 1:
+            raise ValueError("need at least one component")
+        self.name = name
+        self.components = components
+        self.initial = initial
+        self._regs = [
+            AtomicRegister(f"{name}.REG[{i}]", _Cell(initial, 0, None))
+            for i in range(components)
+        ]
+        # Per-writer write counters.  Only writer i touches counter i and
+        # increments are local computation, so keeping them here is
+        # equivalent to per-process local state.
+        self._local_seq = [0] * components
+
+    def _collect(self):
+        cells = []
+        for reg in self._regs:
+            cell = yield from reg.read()
+            cells.append(cell)
+        return cells
+
+    def _scan_impl(self):
+        moved = set()
+        prev = yield from self._collect()
+        while True:
+            cur = yield from self._collect()
+            if all(a.seq == b.seq for a, b in zip(prev, cur)):
+                # Successful double collect: nothing moved in between.
+                return tuple(cell.data for cell in cur)
+            for i in range(self.components):
+                if prev[i].seq != cur[i].seq:
+                    if i in moved:
+                        # i moved twice during this scan: its second
+                        # update embeds a view scanned entirely within
+                        # our interval -- borrow it.
+                        return cur[i].view
+                    moved.add(i)
+            prev = cur
+
+    def scan(self):
+        view = yield from self._scan_impl()
+        return view
+
+    def update(self, i: int, data: Any):
+        if not 0 <= i < self.components:
+            raise IndexError(f"component {i} out of range")
+        view = yield from self._scan_impl()  # embedded scan (helping)
+        self._local_seq[i] += 1
+        yield from self._regs[i].write(_Cell(data, self._local_seq[i], view))
+        return None
+
+    def peek(self) -> Tuple[Any, ...]:
+        return tuple(reg.peek().data for reg in self._regs)
+
+
+class AtomicSnapshot(BaseObject):
+    """Snapshot as an atomic base object (substrate ablation)."""
+
+    def __init__(self, name: str, components: int, initial: Any = BOTTOM):
+        super().__init__(name)
+        self.components = components
+        self._view = [initial] * components
+
+    def _apply_update(self, i: int, data: Any) -> None:
+        self._view[i] = data
+        return None
+
+    def _apply_scan(self) -> Tuple[Any, ...]:
+        return tuple(self._view)
+
+    def update(self, i: int, data: Any):
+        return (yield from self._request("update", i, data))
+
+    def scan(self):
+        return (yield from self._request("scan"))
+
+    def peek(self) -> Tuple[Any, ...]:
+        return tuple(self._view)
+
+
+def make_snapshot(kind: str, name: str, components: int, initial: Any = BOTTOM):
+    """Factory used by the snapshot substrate ablation (E7/B4)."""
+    if kind == "afek":
+        return AfekSnapshot(name, components, initial)
+    if kind == "atomic":
+        return AtomicSnapshot(name, components, initial)
+    raise ValueError(f"unknown snapshot substrate {kind!r}")

@@ -1,0 +1,10 @@
+"""Developer tooling over recorded histories.
+
+- :mod:`repro.tools.trace` -- JSON export of histories (for diffing,
+  archiving, or external analysis) and an ASCII operation timeline
+  showing concurrency and linearization-relevant steps at a glance.
+"""
+
+from repro.tools.trace import history_to_dict, render_timeline, save_history
+
+__all__ = ["history_to_dict", "render_timeline", "save_history"]

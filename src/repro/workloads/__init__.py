@@ -1,0 +1,18 @@
+"""Workload generation and parameter sweeps for the experiments."""
+
+from repro.workloads.generators import (
+    RegisterWorkload,
+    build_max_register_system,
+    build_register_system,
+    build_snapshot_system,
+)
+from repro.workloads.sweeps import Sweep, sweep
+
+__all__ = [
+    "RegisterWorkload",
+    "Sweep",
+    "build_max_register_system",
+    "build_register_system",
+    "build_snapshot_system",
+    "sweep",
+]

@@ -1,0 +1,38 @@
+"""Parameter sweep driver used by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class Sweep:
+    """A grid of parameter assignments."""
+
+    axes: Dict[str, Sequence[Any]]
+
+    def points(self) -> List[Dict[str, Any]]:
+        names = list(self.axes)
+        return [
+            dict(zip(names, values))
+            for values in product(*(self.axes[n] for n in names))
+        ]
+
+    def __iter__(self):
+        return iter(self.points())
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+
+def sweep(fn: Callable[..., Any], grid: Dict[str, Sequence[Any]]):
+    """Run ``fn`` over the grid, collecting (point, result) pairs."""
+    results: List[Tuple[Dict[str, Any], Any]] = []
+    for point in Sweep(grid):
+        results.append((point, fn(**point)))
+    return results

@@ -1,0 +1,165 @@
+"""Tests for the attack modules and the leakage analysis helpers."""
+
+import pytest
+
+from repro.analysis.leakage import (
+    AttackOutcome,
+    empirical_advantage,
+    first_divergence,
+    membership_guess,
+    projections_equal,
+    success_rate,
+)
+from repro.attacks import (
+    run_crash_attack,
+    run_curious_reader_attack,
+    run_gap_attack,
+    run_pad_reuse_attack,
+)
+from repro.attacks.curious_reader import paired_views_identical
+from repro.attacks.pad_reuse import BrokenRegister
+
+
+class TestCrashAttack:
+    def test_naive_leaks_undetected(self):
+        result = run_crash_attack("naive")
+        assert result.learned_value == "secret"
+        assert not result.audited
+        assert result.leaked_undetected
+
+    def test_algorithm1_catches_the_peek(self):
+        result = run_crash_attack("algorithm1")
+        assert result.learned_value == "secret"
+        assert result.audited
+        assert not result.leaked_undetected
+
+    def test_attacker_needs_fewer_steps_on_naive(self):
+        # The naive attacker learns from its very first primitive.
+        naive = run_crash_attack("naive")
+        assert naive.attacker_steps == 2  # invocation + R.read
+
+    def test_unknown_target(self):
+        with pytest.raises(ValueError):
+            run_crash_attack("bogus")
+
+
+class TestCuriousReader:
+    def test_naive_fully_compromised(self):
+        result = run_curious_reader_attack("naive", trials=40)
+        assert result.advantage == 1.0
+
+    def test_algorithm1_blind(self):
+        result = run_curious_reader_attack("algorithm1", trials=400)
+        assert result.advantage < 0.2  # 3-sigma ~ 0.15
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_lemma7_pairs(self, seed):
+        assert paired_views_identical(seed=seed)
+
+
+class TestPadReuse:
+    def test_broken_variant_recovers_readers(self):
+        result = run_pad_reuse_attack("broken")
+        assert result.attack_succeeded
+        assert result.inferred_readers == frozenset({1, 2})
+
+    def test_algorithm1_immune(self):
+        result = run_pad_reuse_attack("algorithm1")
+        assert result.inferred_readers is None
+        assert not result.attack_succeeded
+
+    def test_broken_register_reads_correct_values(self):
+        # The broken variant is still a correct register -- only leaky.
+        from repro.sim.runner import Simulation
+
+        sim = Simulation()
+        reg = BrokenRegister(num_readers=1, initial="v0")
+        writer = reg.writer(sim.spawn("w"))
+        reader = reg.reader(sim.spawn("r"), 0)
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        sim.add_program("r", [reader.read_op(), reader.read_op()])
+        sim.run_process("r")
+        results = [
+            op.result for op in sim.history.operations(pid="r")
+        ]
+        assert results == ["x", "x"]
+        # ... but it applied two fetch&xors under one sequence number.
+        fx = sim.history.primitive_events(pid="r", primitive="fetch_xor")
+        assert len(fx) == 2
+        assert fx[0].result.seq == fx[1].result.seq
+
+
+class TestGapAttack:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_lemma38_constructive_pairs(self, seed):
+        from repro.attacks.max_gap import lemma38_pair
+
+        assert lemma38_pair(seed=seed)
+
+    def test_without_nonces_certain(self):
+        result = run_gap_attack(use_nonces=False, trials=60)
+        assert result.advantage == 1.0
+        assert result.certainty_rate == 1.0
+        assert result.false_certainty == 0
+
+    def test_with_nonces_never_certain(self):
+        result = run_gap_attack(use_nonces=True, trials=60)
+        assert result.certainty_rate == 0.0
+        assert result.advantage < 1.0
+
+
+class TestLeakageHelpers:
+    def test_empirical_advantage(self):
+        always_right = [AttackOutcome(True, True)] * 10
+        always_wrong = [AttackOutcome(True, False)] * 10
+        coin = [AttackOutcome(True, True), AttackOutcome(True, False)] * 5
+        assert empirical_advantage(always_right) == 1.0
+        assert empirical_advantage(always_wrong) == 1.0  # anti-correlated
+        assert empirical_advantage(coin) == 0.0
+        assert empirical_advantage([]) == 0.0
+
+    def test_success_rate(self):
+        outcomes = [AttackOutcome(True, True), AttackOutcome(False, True)]
+        assert success_rate(outcomes) == 0.5
+        assert success_rate([]) == 0.0
+
+    def test_membership_guess(self):
+        assert membership_guess([], 0) is False
+        assert membership_guess([0b10], 1) is True
+        assert membership_guess([0b10], 0) is False
+        assert membership_guess([0b01, 0b10], 0) is False  # last word
+
+    def test_projection_helpers(self):
+        from repro.memory.register import AtomicRegister
+        from repro.sim.process import Op
+        from repro.sim.runner import Simulation
+
+        def build(value):
+            sim = Simulation()
+            reg = AtomicRegister("x", value)
+
+            def prog():
+                return (yield from reg.read())
+
+            sim.spawn("p")
+            sim.add_program("p", [Op("r", prog)])
+            sim.run()
+            return sim.history
+
+        h1, h2, h3 = build(1), build(1), build(2)
+        assert projections_equal(h1, h2, "p")
+        assert not projections_equal(h1, h3, "p")
+        assert first_divergence(h1, h2, "p") is None
+        index, a, b = first_divergence(h1, h3, "p")
+        assert index == 0 and a[3] == 1 and b[3] == 2
+
+    def test_first_divergence_length_mismatch(self):
+        from repro.sim.history import History
+
+        h1 = History()
+        h1.record_invocation("p", 0, "r", ())
+        h1.record_primitive("p", 0, "x", "read", (), 1)
+        h2 = History()
+        result = first_divergence(h1, h2, "p")
+        assert result == (0, ("x", "read", (), 1), None)

@@ -1,0 +1,188 @@
+"""Sequential-semantics tests for Algorithm 1 (auditable register)."""
+
+import pytest
+
+from repro import AuditableRegister, Simulation
+from repro.memory.base import BOTTOM
+
+from tests.conftest import build_register, run_sequentially
+
+
+class TestReadWrite:
+    def test_read_initial_value(self):
+        sim, reg, h = build_register(initial="init")
+        assert run_sequentially(sim, "r0", [h["r0"].read_op()]) == "init"
+
+    def test_read_after_write(self):
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        assert run_sequentially(sim, "r0", [h["r0"].read_op()]) == "x"
+
+    def test_last_write_wins(self):
+        sim, reg, h = build_register(num_writers=2)
+        run_sequentially(sim, "w0", [h["w0"].write_op("a")])
+        run_sequentially(sim, "w1", [h["w1"].write_op("b")])
+        assert run_sequentially(sim, "r0", [h["r0"].read_op()]) == "b"
+
+    def test_write_returns_none(self):
+        sim, reg, h = build_register()
+        assert run_sequentially(sim, "w0", [h["w0"].write_op("x")]) is None
+
+    def test_default_initial_is_bottom(self):
+        sim = Simulation()
+        reg = AuditableRegister(num_readers=1)
+        reader = reg.reader(sim.spawn("r"), 0)
+        assert run_sequentially(sim, "r", [reader.read_op()]) is BOTTOM
+
+    def test_rereading_unchanged_value(self):
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        results = [
+            run_sequentially(sim, "r0", [h["r0"].read_op()])
+            for _ in range(3)
+        ]
+        assert results == ["x", "x", "x"]
+
+    def test_many_writes_each_visible(self):
+        sim, reg, h = build_register()
+        for k in range(10):
+            run_sequentially(sim, "w0", [h["w0"].write_op(k)])
+            assert run_sequentially(sim, "r0", [h["r0"].read_op()]) == k
+
+
+class TestSilentReads:
+    def test_second_read_is_silent(self):
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        fx = sim.history.primitive_events(pid="r0", primitive="fetch_xor")
+        assert len(fx) == 1  # the silent read never touched R
+
+    def test_silent_read_is_one_primitive(self):
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        silent = sim.history.operations(pid="r0", name="read")[-1]
+        assert len(silent.primitives) == 1
+        assert silent.primitives[0].obj_name == reg.SN.name
+
+    def test_new_write_forces_direct_read(self):
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        run_sequentially(sim, "w0", [h["w0"].write_op("y")])
+        assert run_sequentially(sim, "r0", [h["r0"].read_op()]) == "y"
+        fx = sim.history.primitive_events(pid="r0", primitive="fetch_xor")
+        assert len(fx) == 2
+
+
+class TestAudit:
+    def test_empty_audit(self):
+        sim, reg, h = build_register()
+        assert run_sequentially(sim, "a0", [h["a0"].audit_op()]) == frozenset()
+
+    def test_audit_reports_reader_of_current_value(self):
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        report = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        assert report == frozenset({(0, "x")})
+
+    def test_audit_reports_reader_of_archived_value(self):
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        run_sequentially(sim, "w0", [h["w0"].write_op("y")])
+        report = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        assert report == frozenset({(0, "x")})
+
+    def test_audit_reports_initial_value_reads(self):
+        sim, reg, h = build_register(initial="genesis")
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        report = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        assert report == frozenset({(0, "genesis")})
+
+    def test_audit_distinguishes_readers(self):
+        sim, reg, h = build_register(num_readers=3)
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        run_sequentially(sim, "r2", [h["r2"].read_op()])
+        report = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        assert report == frozenset({(0, "x"), (2, "x")})
+
+    def test_silent_reads_add_no_new_pairs(self):
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op(), h["r0"].read_op()])
+        report = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        assert report == frozenset({(0, "x")})
+
+    def test_audit_accumulates_across_epochs(self):
+        sim, reg, h = build_register()
+        for k in range(4):
+            run_sequentially(sim, "w0", [h["w0"].write_op(f"v{k}")])
+            run_sequentially(sim, "r0", [h["r0"].read_op()])
+        report = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        assert report == frozenset((0, f"v{k}") for k in range(4))
+
+    def test_incremental_audit_lsa(self):
+        # A second audit by the same auditor must not rescan archived
+        # epochs (lsa low-water mark) yet still report everything.
+        sim, reg, h = build_register()
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        run_sequentially(sim, "w0", [h["w0"].write_op("y")])
+        first = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        before = len(sim.history.primitive_events(pid="a0"))
+        second = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        after = len(sim.history.primitive_events(pid="a0"))
+        assert first == second == frozenset({(0, "x")})
+        # Second audit: R.read + SN CAS only (no archive rescans).
+        assert after - before == 2
+
+    def test_two_auditors_agree(self):
+        sim, reg, h = build_register(num_auditors=2)
+        run_sequentially(sim, "w0", [h["w0"].write_op("x")])
+        run_sequentially(sim, "r0", [h["r0"].read_op()])
+        run_sequentially(sim, "w0", [h["w0"].write_op("y")])
+        run_sequentially(sim, "r1", [h["r1"].read_op()])
+        a = run_sequentially(sim, "a0", [h["a0"].audit_op()])
+        b = run_sequentially(sim, "a1", [h["a1"].audit_op()])
+        assert a == b == frozenset({(0, "x"), (1, "y")})
+
+
+class TestConstruction:
+    def test_rejects_zero_readers(self):
+        with pytest.raises(ValueError):
+            AuditableRegister(num_readers=0)
+
+    def test_rejects_duplicate_reader_index(self):
+        sim = Simulation()
+        reg = AuditableRegister(num_readers=2)
+        reg.reader(sim.spawn("p"), 0)
+        with pytest.raises(ValueError, match="already taken"):
+            reg.reader(sim.spawn("q"), 0)
+
+    def test_rejects_out_of_range_reader(self):
+        sim = Simulation()
+        reg = AuditableRegister(num_readers=2)
+        with pytest.raises(IndexError):
+            reg.reader(sim.spawn("p"), 2)
+
+    def test_rejects_mismatched_pad(self):
+        from repro.crypto import OneTimePadSequence
+
+        with pytest.raises(ValueError, match="pad width"):
+            AuditableRegister(
+                num_readers=3, pad=OneTimePadSequence(2)
+            )
+
+    def test_initial_word_is_encrypted_empty_set(self):
+        reg = AuditableRegister(num_readers=4, initial="v0")
+        word = reg.R.peek()
+        assert word.seq == 0
+        assert word.val == "v0"
+        assert word.bits == reg.pad.mask(0)
+        assert reg.pad.members(0, word.bits) == frozenset()

@@ -1,0 +1,119 @@
+"""Wait-freedom tests (Lemma 2): per-operation step bounds."""
+
+import pytest
+
+from repro import AuditableRegister, Simulation
+from repro.sim.scheduler import PrioritySchedule
+from repro.workloads.generators import RegisterWorkload, build_register_system
+
+
+def steps_per_op(history, pid, name):
+    return [
+        len(op.primitives)
+        for op in history.operations(pid=pid, name=name)
+        if op.is_complete
+    ]
+
+
+class TestReadBounds:
+    def test_direct_read_is_three_primitives(self):
+        sim = Simulation()
+        reg = AuditableRegister(num_readers=1, initial="v0")
+        reader = reg.reader(sim.spawn("r"), 0)
+        sim.add_program("r", [reader.read_op()])
+        sim.run_process("r")
+        assert steps_per_op(sim.history, "r", "read") == [3]
+
+    def test_silent_read_is_one_primitive(self):
+        sim = Simulation()
+        reg = AuditableRegister(num_readers=1, initial="v0")
+        reader = reg.reader(sim.spawn("r"), 0)
+        sim.add_program("r", [reader.read_op(), reader.read_op()])
+        sim.run_process("r")
+        assert steps_per_op(sim.history, "r", "read") == [3, 1]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reads_bounded_under_contention(self, seed):
+        built = build_register_system(
+            RegisterWorkload(num_readers=2, num_writers=3,
+                             reads_per_reader=5, writes_per_writer=4,
+                             seed=seed)
+        )
+        history = built.run()
+        for pid in ("r0", "r1"):
+            assert all(s <= 3 for s in steps_per_op(history, pid, "read"))
+
+
+class TestWriteBounds:
+    def bound(self, m):
+        # Loop iterations <= m+1; each iteration is at most
+        # 3 + m primitives (R.read, V.write, m B writes, R.cas), plus
+        # SN.read and the final SN.cas.
+        return 2 + (m + 1) * (3 + m)
+
+    @pytest.mark.parametrize("m", [1, 2, 4, 8])
+    def test_write_bounded_under_reader_storm(self, m):
+        for seed in range(5):
+            built = build_register_system(
+                RegisterWorkload(num_readers=m, num_writers=1,
+                                 reads_per_reader=6, writes_per_writer=3,
+                                 seed=seed),
+                schedule=PrioritySchedule({"r": 30.0, "w": 1.0}, seed=seed),
+            )
+            history = built.run()
+            iterations = [
+                sum(
+                    1
+                    for e in op.primitives
+                    if e.obj_name == built.register.R.name
+                    and e.primitive == "read"
+                )
+                for op in history.operations(pid="w0", name="write")
+            ]
+            assert all(i <= m + 1 for i in iterations)
+            assert all(
+                s <= self.bound(m)
+                for s in steps_per_op(history, "w0", "write")
+            )
+
+    def test_adversarial_interposition_hits_bound_exactly(self):
+        from repro.harness.experiments import _adversarial_write
+
+        for m in (1, 2, 3, 5):
+            assert _adversarial_write(m) == m + 1
+
+
+class TestAuditBounds:
+    def test_audit_steps_linear_in_new_epochs(self):
+        """Audit cost: 2 primitives + (1 + m) per *new* epoch since the
+        auditor's last audit (lsa low-water mark)."""
+        sim = Simulation()
+        m = 3
+        reg = AuditableRegister(num_readers=m, initial="v0")
+        writer = reg.writer(sim.spawn("w"))
+        auditor = reg.auditor(sim.spawn("a"))
+        epochs = 5
+        sim.add_program(
+            "w", [writer.write_op(f"v{k}") for k in range(epochs)]
+        )
+        sim.run_process("w")
+        sim.add_program("a", [auditor.audit_op()])
+        sim.run_process("a")
+        first = steps_per_op(sim.history, "a", "audit")[0]
+        assert first == 2 + epochs * (1 + m)
+        # No new writes: the next audit is just 2 primitives.
+        sim.add_program("a", [auditor.audit_op()])
+        sim.run_process("a")
+        assert steps_per_op(sim.history, "a", "audit")[-1] == 2
+
+
+class TestGlobalProgress:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_operation_completes(self, seed):
+        built = build_register_system(
+            RegisterWorkload(num_readers=3, num_writers=3,
+                             reads_per_reader=4, writes_per_writer=4,
+                             audits_per_auditor=3, seed=seed)
+        )
+        history = built.run()
+        assert history.pending_operations() == []

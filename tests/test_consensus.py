@@ -1,0 +1,100 @@
+"""Tests for consensus from an auditable register (after [5])."""
+
+import pytest
+
+from repro.sim.process import Op
+from repro.sim.runner import Simulation
+from repro.sim.scheduler import RandomSchedule, ReplaySchedule
+from repro.substrates.consensus import AuditableConsensus
+
+
+def run_consensus(schedule, reader_value="R", writer_value="W"):
+    sim = Simulation(schedule=schedule)
+    cons = AuditableConsensus()
+    reader_propose = cons.reader_propose(sim.spawn("reader"))
+    writer_propose = cons.writer_propose(sim.spawn("writer"))
+    sim.add_program("reader", [Op("propose", reader_propose, (reader_value,))])
+    sim.add_program("writer", [Op("propose", writer_propose, (writer_value,))])
+    history = sim.run()
+    return {
+        op.pid: op.result
+        for op in history.complete_operations(name="propose")
+    }
+
+
+class TestAgreementAndValidity:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_schedules(self, seed):
+        decisions = run_consensus(RandomSchedule(seed))
+        assert len(decisions) == 2  # termination
+        assert decisions["reader"] == decisions["writer"]  # agreement
+        assert decisions["reader"] in ("R", "W")  # validity
+
+    def test_reader_first_decides_reader(self):
+        # Reader completes before the writer starts: both must decide
+        # the reader's proposal.
+        sim = Simulation()
+        cons = AuditableConsensus()
+        reader_propose = cons.reader_propose(sim.spawn("reader"))
+        writer_propose = cons.writer_propose(sim.spawn("writer"))
+        sim.add_program("reader", [Op("propose", reader_propose, ("R",))])
+        sim.run_process("reader")
+        sim.add_program("writer", [Op("propose", writer_propose, ("W",))])
+        sim.run_process("writer")
+        decisions = {
+            op.pid: op.result
+            for op in sim.history.complete_operations(name="propose")
+        }
+        assert decisions == {"reader": "R", "writer": "R"}
+
+    def test_writer_first_decides_writer(self):
+        sim = Simulation()
+        cons = AuditableConsensus()
+        reader_propose = cons.reader_propose(sim.spawn("reader"))
+        writer_propose = cons.writer_propose(sim.spawn("writer"))
+        sim.add_program("writer", [Op("propose", writer_propose, ("W",))])
+        sim.run_process("writer")
+        sim.add_program("reader", [Op("propose", reader_propose, ("R",))])
+        sim.run_process("reader")
+        decisions = {
+            op.pid: op.result
+            for op in sim.history.complete_operations(name="propose")
+        }
+        assert decisions == {"reader": "W", "writer": "W"}
+
+    def test_decision_hinges_on_audit_exactness(self):
+        """The knife-edge interleaving: the reader's read becomes
+        effective (fetch&xor) *during* the writer's write.  The audit
+        must catch exactly this read, or agreement breaks."""
+        sim = Simulation()
+        cons = AuditableConsensus()
+        reader_propose = cons.reader_propose(sim.spawn("reader"))
+        writer_propose = cons.writer_propose(sim.spawn("writer"))
+        sim.add_program("reader", [Op("propose", reader_propose, ("R",))])
+        sim.add_program("writer", [Op("propose", writer_propose, ("W",))])
+        # Reader: invocation, P.write, SN.read -> fetch&xor pending.
+        for _ in range(3):
+            sim.step_process("reader")
+        # Writer: invocation, SN.read, R.read, V write -> CAS pending.
+        for _ in range(4):
+            sim.step_process("writer")
+        # Reader's fetch&xor lands first: it reads ⊥ (pre-write value).
+        sim.step_process("reader")
+        sim.run()
+        decisions = {
+            op.pid: op.result
+            for op in sim.history.complete_operations(name="propose")
+        }
+        assert decisions["reader"] == decisions["writer"] == "R"
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_wait_free(self, seed):
+        # Every proposal terminates within a bounded number of steps.
+        sim = Simulation(schedule=RandomSchedule(seed))
+        cons = AuditableConsensus()
+        reader_propose = cons.reader_propose(sim.spawn("reader"))
+        writer_propose = cons.writer_propose(sim.spawn("writer"))
+        sim.add_program("reader", [Op("propose", reader_propose, ("R",))])
+        sim.add_program("writer", [Op("propose", writer_propose, ("W",))])
+        history = sim.run(max_steps=200)
+        assert len(history.complete_operations(name="propose")) == 2

@@ -1,0 +1,166 @@
+"""Tests for one-time pads and nonces (including hypothesis properties)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import NonceSource, OneTimePadSequence
+from repro.crypto.nonce import SequentialNonceSource, ZeroNonceSource
+
+
+class TestPadBasics:
+    def test_deterministic_per_seed(self):
+        p1 = OneTimePadSequence(4, seed=1)
+        p2 = OneTimePadSequence(4, seed=1)
+        assert [p1.mask(s) for s in range(10)] == [
+            p2.mask(s) for s in range(10)
+        ]
+
+    def test_access_order_irrelevant(self):
+        p1 = OneTimePadSequence(4, seed=1)
+        p2 = OneTimePadSequence(4, seed=1)
+        forward = [p1.mask(s) for s in range(8)]
+        backward = [p2.mask(s) for s in reversed(range(8))]
+        assert forward == list(reversed(backward))
+
+    def test_masks_fit_width(self):
+        pad = OneTimePadSequence(3, seed=0)
+        assert all(0 <= pad.mask(s) < 8 for s in range(50))
+
+    def test_different_seeds_differ(self):
+        a = OneTimePadSequence(16, seed=0)
+        b = OneTimePadSequence(16, seed=1)
+        assert any(a.mask(s) != b.mask(s) for s in range(10))
+
+    def test_empty_cipher_is_mask(self):
+        pad = OneTimePadSequence(4, seed=2)
+        assert pad.empty_cipher(3) == pad.mask(3)
+        assert pad.members(3, pad.empty_cipher(3)) == frozenset()
+
+    def test_negative_seq_rejected(self):
+        import pytest
+
+        with pytest.raises(IndexError):
+            OneTimePadSequence(2).mask(-1)
+
+
+class TestPadEncryption:
+    def test_insert_then_decode(self):
+        pad = OneTimePadSequence(4, seed=3)
+        cipher = pad.empty_cipher(0)
+        cipher = pad.insert(cipher, 2)
+        assert pad.members(0, cipher) == frozenset({2})
+        assert pad.is_member(0, cipher, 2)
+        assert not pad.is_member(0, cipher, 1)
+
+    def test_insert_twice_removes(self):
+        # XOR malleability: inserting twice toggles out -- exactly why
+        # Algorithm 1 must guarantee at most one fetch&xor per reader
+        # per sequence number (Lemma 17).
+        pad = OneTimePadSequence(4, seed=3)
+        cipher = pad.insert(pad.insert(pad.empty_cipher(1), 0), 0)
+        assert pad.members(1, cipher) == frozenset()
+
+    def test_member_index_bounds(self):
+        import pytest
+
+        pad = OneTimePadSequence(2, seed=0)
+        with pytest.raises(IndexError):
+            pad.is_member(0, 0, 2)
+        with pytest.raises(IndexError):
+            pad.encode(0, [5])
+
+    @given(
+        readers=st.sets(st.integers(min_value=0, max_value=7)),
+        seq=st.integers(min_value=0, max_value=30),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=150)
+    def test_encode_decode_roundtrip(self, readers, seq, seed):
+        pad = OneTimePadSequence(8, seed=seed)
+        cipher = pad.encode(seq, readers)
+        assert pad.members(seq, cipher) == frozenset(readers)
+
+    @given(
+        readers=st.lists(
+            st.integers(min_value=0, max_value=7), max_size=12
+        ),
+        seq=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=100)
+    def test_insert_is_additive(self, readers, seq):
+        # encode(S) == insert-fold over the empty cipher, in any order,
+        # with duplicates cancelling (the malleability Algorithm 1 uses).
+        pad = OneTimePadSequence(8, seed=7)
+        cipher = pad.empty_cipher(seq)
+        for j in readers:
+            cipher = pad.insert(cipher, j)
+        odd = {j for j in set(readers) if readers.count(j) % 2 == 1}
+        assert pad.members(seq, cipher) == frozenset(odd)
+
+    def test_fork_flips_single_bit(self):
+        pad = OneTimePadSequence(4, seed=9)
+        forked = pad.fork(flip_seq=2, flip_reader=1)
+        assert forked.mask(2) == pad.mask(2) ^ 0b10
+        for s in (0, 1, 3, 4):
+            assert forked.mask(s) == pad.mask(s)
+
+    def test_ciphertext_carries_no_information_without_mask(self):
+        # Over many pad seeds, the ciphertext of {0} and of {} are both
+        # (near-)uniformly distributed: observed bit frequencies match.
+        ones_empty = ones_with = 0
+        trials = 400
+        for seed in range(trials):
+            pad = OneTimePadSequence(1, seed=seed)
+            ones_empty += pad.encode(0, []) & 1
+            ones_with += pad.encode(0, [0]) & 1
+        assert abs(ones_empty - trials / 2) < trials / 8
+        assert abs(ones_with - trials / 2) < trials / 8
+
+
+class TestNonces:
+    def test_deterministic(self):
+        a = NonceSource(seed=5)
+        b = NonceSource(seed=5)
+        assert [a.fresh() for _ in range(10)] == [
+            b.fresh() for _ in range(10)
+        ]
+
+    def test_range(self):
+        src = NonceSource(seed=0, bits=8)
+        assert all(0 <= src.fresh() < 256 for _ in range(100))
+
+    def test_issued_counter(self):
+        src = NonceSource()
+        src.fresh()
+        src.fresh()
+        assert src.issued == 2
+
+    def test_sequential_source(self):
+        src = SequentialNonceSource()
+        assert [src.fresh() for _ in range(3)] == [1, 2, 3]
+
+    def test_zero_source(self):
+        src = ZeroNonceSource()
+        assert [src.fresh() for _ in range(3)] == [0, 0, 0]
+        assert src.issued == 3
+
+    def test_preset_source_scripted_then_random(self):
+        from repro.crypto.nonce import PresetNonceSource
+
+        src = PresetNonceSource([7, 8], seed=5)
+        reference = NonceSource(seed=5)
+        assert src.fresh() == 7
+        assert src.fresh() == 8
+        assert src.fresh() == reference.fresh()  # falls back to random
+        assert src.issued == 3
+
+    def test_invalid_width(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            NonceSource(bits=0)
+
+    def test_collision_free_in_practice(self):
+        src = NonceSource(seed=1)
+        values = [src.fresh() for _ in range(10_000)]
+        assert len(set(values)) == len(values)

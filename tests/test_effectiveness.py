@@ -1,0 +1,134 @@
+"""Tests for effective-read detection (Definition 2 via Claim 4)."""
+
+import pytest
+
+from repro import AuditableRegister, Simulation
+from repro.analysis import effective_reads
+from repro.analysis.audit_checks import expected_audit_set
+
+
+def make_system():
+    sim = Simulation()
+    reg = AuditableRegister(num_readers=2, initial="v0")
+    writer = reg.writer(sim.spawn("w"))
+    r0 = reg.reader(sim.spawn("r0"), 0)
+    r1 = reg.reader(sim.spawn("r1"), 1)
+    auditor = reg.auditor(sim.spawn("a"))
+    return sim, reg, writer, r0, r1, auditor
+
+
+class TestCompleteReads:
+    def test_direct_read_effective(self):
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        sim.add_program("r0", [r0.read_op()])
+        sim.run_process("r0")
+        (eff,) = effective_reads(sim.history, reg)
+        assert (eff.pid, eff.value, eff.kind) == ("r0", "x", "direct")
+        assert eff.complete
+
+    def test_silent_read_effective(self):
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        sim.add_program("r0", [r0.read_op(), r0.read_op()])
+        sim.run_process("r0")
+        effs = effective_reads(sim.history, reg)
+        assert [e.kind for e in effs] == ["direct", "silent"]
+        assert all(e.value == "x" for e in effs)
+
+
+class TestPendingReads:
+    def test_crash_before_any_primitive_not_effective(self):
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("r0", [r0.read_op()])
+        sim.step_process("r0")  # invocation only
+        sim.crash("r0")
+        assert effective_reads(sim.history, reg) == []
+
+    def test_crash_after_sn_read_with_new_seq_not_effective(self):
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        sim.add_program("r0", [r0.read_op()])
+        sim.step_process("r0")  # invocation
+        sim.step_process("r0")  # SN.read returns 1 != prev_sn (-1)
+        sim.crash("r0")
+        # The reader has not determined its return value: a future
+        # write could change what the fetch&xor would return.
+        assert effective_reads(sim.history, reg) == []
+
+    def test_crash_after_fetch_xor_is_effective(self):
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        sim.add_program("r0", [r0.read_op()])
+        sim.step_process("r0")  # invocation
+        sim.step_process("r0")  # SN.read
+        sim.step_process("r0")  # fetch&xor <- effective here
+        sim.crash("r0")
+        (eff,) = effective_reads(sim.history, reg)
+        assert eff.value == "x"
+        assert eff.kind == "direct"
+        assert not eff.complete
+
+    def test_silent_read_completes_with_its_single_primitive(self):
+        # A silent read's only primitive is the SN read; the response is
+        # local computation and happens in the same step, so a silent
+        # read can never be left pending-but-effective -- it is already
+        # complete the moment it becomes effective.
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        sim.add_program("r0", [r0.read_op()])
+        sim.run_process("r0")  # completes: prev_sn = 1
+        sim.add_program("r0", [r0.read_op()])
+        sim.step_process("r0")  # invocation
+        sim.step_process("r0")  # SN.read: silent; returns same step
+        assert not sim.processes["r0"].has_work()
+        effs = effective_reads(sim.history, reg)
+        assert [e.kind for e in effs] == ["direct", "silent"]
+        assert effs[-1].complete
+
+
+class TestEffectivenessIndex:
+    def test_effective_index_is_the_determining_step(self):
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        sim.add_program("r0", [r0.read_op()])
+        sim.run_process("r0")
+        (eff,) = effective_reads(sim.history, reg)
+        fx = sim.history.primitive_events(
+            pid="r0", primitive="fetch_xor"
+        )[0]
+        assert eff.effective_index == fx.index
+
+    def test_oracle_counts_only_prior_effective_reads(self):
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        sim.add_program("r0", [r0.read_op()])
+        sim.run_process("r0")
+        cutoff = sim.history.length
+        sim.add_program("r1", [r1.read_op()])
+        sim.run_process("r1")
+        assert expected_audit_set(sim.history, reg, cutoff) == {(0, "x")}
+        assert expected_audit_set(
+            sim.history, reg, sim.history.length
+        ) == {(0, "x"), (1, "x")}
+
+    def test_multiple_readers_independent_state(self):
+        sim, reg, writer, r0, r1, _ = make_system()
+        sim.add_program("w", [writer.write_op("x")])
+        sim.run_process("w")
+        for pid, handle in (("r0", r0), ("r1", r1)):
+            sim.add_program(pid, [handle.read_op(), handle.read_op()])
+            sim.run_process(pid)
+        effs = effective_reads(sim.history, reg)
+        assert sorted((e.pid, e.kind) for e in effs) == [
+            ("r0", "direct"), ("r0", "silent"),
+            ("r1", "direct"), ("r1", "silent"),
+        ]
+        assert {e.reader_index for e in effs} == {0, 1}

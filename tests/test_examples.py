@@ -1,0 +1,87 @@
+"""Smoke tests: every example script runs end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "audit report" in out
+    assert "linearizable: True" in out
+
+
+def test_quickstart_other_seed(capsys):
+    run_example("quickstart.py", ["3"])
+    assert "analysis" in capsys.readouterr().out
+
+
+def test_medical_records(capsys):
+    run_example("medical_records.py")
+    out = capsys.readouterr().out
+    assert "curious dr-chen caught by audit: True" in out
+    assert "curious dr-chen caught by audit: False" in out  # naive run
+
+
+def test_breach_forensics(capsys):
+    run_example("breach_forensics.py")
+    out = capsys.readouterr().out
+    assert "blast radius of the leak: ['batch']" in out
+
+
+def test_curious_reader_demo(capsys):
+    run_example("curious_reader_demo.py")
+    out = capsys.readouterr().out
+    assert "caught by audit" in out
+    assert "*identical*): True" in out
+
+
+def test_open_questions(capsys):
+    run_example("open_questions.py")
+    out = capsys.readouterr().out
+    assert "coalition of two readers" in out
+    assert "open question" in out
+
+
+def test_audited_event_log(capsys):
+    run_example("audited_event_log.py")
+    out = capsys.readouterr().out
+    assert "oversight audit" in out
+    assert "exact" in out
+
+
+def test_cli_overview(capsys):
+    from repro.__main__ import main
+
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "registered experiments" in out
+    assert "E13" in out
+
+
+def test_cli_version(capsys):
+    from repro import __version__
+    from repro.__main__ import main
+
+    assert main(["version"]) == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_cli_unknown_command(capsys):
+    from repro.__main__ import main
+
+    assert main(["bogus"]) == 2

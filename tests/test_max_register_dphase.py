@@ -1,0 +1,142 @@
+"""Hand-crafted D-phase scenarios for the auditable max register,
+mirroring the register's interleaving tests (Appendix B structure)."""
+
+import pytest
+
+from repro import AuditableMaxRegister, Simulation
+from repro.analysis import (
+    check_audit_exactness,
+    check_phase_structure,
+    check_value_sequence,
+)
+
+
+def build(num_readers=1, **kwargs):
+    sim = Simulation()
+    reg = AuditableMaxRegister(num_readers=num_readers, initial=0, **kwargs)
+    return sim, reg
+
+
+def step_into_d_phase(sim, reg, pid, seq):
+    """Advance ``pid`` until R holds ``seq`` but SN lags behind (the D
+    phase is open); robust to variable archive-step counts."""
+    for _ in range(100):
+        if reg.R.peek().seq == seq and reg.SN.peek() == seq - 1:
+            return
+        if not sim.step_process(pid):
+            break
+    raise AssertionError(f"never reached the D phase for seq {seq}")
+
+
+class TestDPhase:
+    def test_reader_helps_close_d_phase(self):
+        sim, reg = build()
+        writer = reg.writer(sim.spawn("w"))
+        reader = reg.reader(sim.spawn("r"), 0)
+        sim.add_program("w", [writer.write_max_op(9)])
+        step_into_d_phase(sim, reg, "w", seq=1)
+        assert reg.R.peek().seq == 1
+        assert reg.SN.peek() == 0  # D phase open
+        sim.add_program("r", [reader.read_op()])
+        sim.run_process("r")
+        assert sim.history.operations(pid="r")[-1].result == 9
+        assert reg.SN.peek() == 1  # reader helped
+        sim.run_process("w")
+        assert check_phase_structure(sim.history, reg) == []
+
+    def test_silent_read_during_d_phase_returns_old_value(self):
+        """The Section 3.2 subtlety: during a D phase a silent read may
+        return the old value while a direct read returns the new one --
+        both linearizable (the silent read is pushed back)."""
+        sim, reg = build(num_readers=2)
+        writer = reg.writer(sim.spawn("w"))
+        r0 = reg.reader(sim.spawn("r0"), 0)
+        r1 = reg.reader(sim.spawn("r1"), 1)
+        # Epoch 1 completes; r0 reads it (prev_sn = 1).
+        sim.add_program("w", [writer.write_max_op(5)])
+        sim.run_process("w")
+        sim.add_program("r0", [r0.read_op()])
+        sim.run_process("r0")
+        # Epoch 2 stalls in its D phase (R updated, SN not yet).
+        sim.add_program("w", [writer.write_max_op(9)])
+        step_into_d_phase(sim, reg, "w", seq=2)
+        assert reg.R.peek().seq == 2 and reg.SN.peek() == 1
+        # r0's read is silent (SN still 1): returns the old value 5.
+        sim.add_program("r0", [r0.read_op()])
+        sim.run_process("r0")
+        assert sim.history.operations(pid="r0")[-1].result == 5
+        # r1's read is direct: returns the new value 9.
+        sim.add_program("r1", [r1.read_op()])
+        sim.run_process("r1")
+        assert sim.history.operations(pid="r1")[-1].result == 9
+        sim.run_process("w")
+        assert check_audit_exactness(sim.history, reg) == []
+        assert check_value_sequence(sim.history, reg, monotone=True) == []
+
+    def test_audit_during_d_phase_closes_it(self):
+        sim, reg = build()
+        writer = reg.writer(sim.spawn("w"))
+        auditor = reg.auditor(sim.spawn("a"))
+        sim.add_program("w", [writer.write_max_op(7)])
+        step_into_d_phase(sim, reg, "w", seq=1)
+        assert reg.SN.peek() == 0
+        sim.add_program("a", [auditor.audit_op()])
+        sim.run_process("a")
+        assert reg.SN.peek() == 1
+        sim.run_process("w")
+        assert check_phase_structure(sim.history, reg) == []
+
+    def test_stalled_smaller_write_stays_silent(self):
+        """A writeMax stalled before its M write that resumes after a
+        larger value landed exits without touching R."""
+        sim, reg = build()
+        w1 = reg.writer(sim.spawn("w1"))
+        w2 = reg.writer(sim.spawn("w2"))
+        sim.add_program("w1", [w1.write_max_op(3)])
+        sim.step_process("w1")  # invocation only
+        sim.add_program("w2", [w2.write_max_op(10)])
+        sim.run_process("w2")
+        sim.run_process("w1")
+        assert reg.R.peek().val.value == 10
+        w1_cas = sim.history.primitive_events(
+            pid="w1", obj_name=reg.R.name, primitive="compare_and_swap"
+        )
+        assert w1_cas == []
+        assert check_audit_exactness(sim.history, reg) == []
+
+    def test_reader_retry_storm_archived_correctly(self):
+        """Readers fetch&xoring between a writeMax's archive and CAS are
+        retried into the archive, like Algorithm 1 (E1's mechanism)."""
+        m = 2
+        sim, reg = build(num_readers=m)
+        writer = reg.writer(sim.spawn("w"))
+        readers = [reg.reader(sim.spawn(f"r{j}"), j) for j in range(m)]
+        auditor = reg.auditor(sim.spawn("a"))
+        sim.add_program("w", [writer.write_max_op(5)])
+        sim.run_process("w")
+        # Arm both readers at their fetch&xor.
+        for j in range(m):
+            sim.add_program(f"r{j}", [readers[j].read_op()])
+            sim.step_process(f"r{j}")
+            sim.step_process(f"r{j}")
+            assert sim.processes[f"r{j}"].pending.primitive == "fetch_xor"
+        # Writer starts epoch 2; fire a reader before each CAS attempt.
+        sim.add_program("w", [writer.write_max_op(9)])
+        fired = 0
+        while sim.processes["w"].has_work():
+            pending = sim.processes["w"].pending
+            if (
+                pending is not None
+                and pending.primitive == "compare_and_swap"
+                and fired < m
+            ):
+                sim.step_process(f"r{fired}")
+                fired += 1
+            sim.step_process("w")
+        for j in range(m):
+            sim.run_process(f"r{j}")
+        sim.add_program("a", [auditor.audit_op()])
+        sim.run_process("a")
+        report = sim.history.operations(name="audit")[-1].result
+        assert report == frozenset({(0, 5), (1, 5)})
+        assert check_audit_exactness(sim.history, reg) == []

@@ -1,0 +1,206 @@
+"""Tests for the shared-memory base objects."""
+
+import pytest
+
+from repro.memory import (
+    BOTTOM,
+    AtomicRegister,
+    BitMatrix,
+    Bottom,
+    CasRegister,
+    MainRegister,
+    RWord,
+    RegisterArray,
+)
+from repro.memory.register import FetchAddRegister, SwapRegister
+from repro.sim.process import Op
+from repro.sim.runner import Simulation
+
+
+def apply_ops(obj_factory, script):
+    """Run a single-process script of (method, args) against an object,
+    returning the list of primitive results."""
+    sim = Simulation()
+    obj = obj_factory()
+    results = []
+
+    def gen():
+        for method, args in script:
+            result = yield from getattr(obj, method)(*args)
+            results.append(result)
+
+    sim.spawn("p")
+    sim.add_program("p", [Op("script", gen)])
+    sim.run()
+    return obj, results
+
+
+class TestAtomicRegister:
+    def test_read_initial(self):
+        _, results = apply_ops(
+            lambda: AtomicRegister("r", 42), [("read", ())]
+        )
+        assert results == [42]
+
+    def test_write_then_read(self):
+        _, results = apply_ops(
+            lambda: AtomicRegister("r", 0),
+            [("write", (9,)), ("read", ())],
+        )
+        assert results == [None, 9]
+
+    def test_unknown_primitive_rejected(self):
+        reg = AtomicRegister("r", 0)
+        with pytest.raises(AttributeError, match="does not support"):
+            reg.apply("compare_and_swap", (0, 1))
+
+
+class TestCasRegister:
+    def test_cas_success(self):
+        reg, results = apply_ops(
+            lambda: CasRegister("r", "old"),
+            [("compare_and_swap", ("old", "new")), ("read", ())],
+        )
+        assert results == [True, "new"]
+
+    def test_cas_failure_leaves_value(self):
+        reg, results = apply_ops(
+            lambda: CasRegister("r", "old"),
+            [("compare_and_swap", ("wrong", "new")), ("read", ())],
+        )
+        assert results == [False, "old"]
+
+    def test_cas_compares_by_equality(self):
+        reg, results = apply_ops(
+            lambda: CasRegister("r", (1, 2)),
+            [("compare_and_swap", ((1, 2), (3, 4)))],
+        )
+        assert results == [True]
+
+
+class TestSwapAndFetchAdd:
+    def test_swap_returns_old(self):
+        _, results = apply_ops(
+            lambda: SwapRegister("r", "a"),
+            [("swap", ("b",)), ("swap", ("c",)), ("read", ())],
+        )
+        assert results == ["a", "b", "c"]
+
+    def test_fetch_add(self):
+        _, results = apply_ops(
+            lambda: FetchAddRegister("r", 10),
+            [("fetch_and_add", (5,)), ("fetch_and_add", (-3,)), ("read", ())],
+        )
+        assert results == [10, 15, 12]
+
+
+class TestMainRegister:
+    def test_requires_rword(self):
+        with pytest.raises(TypeError):
+            MainRegister("R", (0, "v", 0))
+
+    def test_read_returns_triple(self):
+        word = RWord(0, "v0", 0b101)
+        _, results = apply_ops(
+            lambda: MainRegister("R", word), [("read", ())]
+        )
+        assert results == [word]
+
+    def test_fetch_xor_flips_only_target_bit(self):
+        initial = RWord(3, "v", 0b0110)
+        reg, results = apply_ops(
+            lambda: MainRegister("R", initial),
+            [("fetch_xor", (0b0001,)), ("read", ())],
+        )
+        assert results[0] == initial  # returns the OLD triple
+        assert results[1] == RWord(3, "v", 0b0111)
+
+    def test_fetch_xor_preserves_seq_and_val(self):
+        reg, results = apply_ops(
+            lambda: MainRegister("R", RWord(7, "payload", 0)),
+            [("fetch_xor", (1 << 5,))],
+        )
+        new = reg.peek()
+        assert (new.seq, new.val) == (7, "payload")
+        assert new.bits == 1 << 5
+
+    def test_cas_structural_comparison(self):
+        old = RWord(1, "a", 0b10)
+        reg, results = apply_ops(
+            lambda: MainRegister("R", old),
+            [
+                ("compare_and_swap", (RWord(1, "a", 0b10), RWord(2, "b", 0))),
+                ("read", ()),
+            ],
+        )
+        assert results == [True, RWord(2, "b", 0)]
+
+    def test_cas_fails_on_bits_mismatch(self):
+        reg, results = apply_ops(
+            lambda: MainRegister("R", RWord(1, "a", 0b10)),
+            [("compare_and_swap", (RWord(1, "a", 0b11), RWord(2, "b", 0)))],
+        )
+        assert results == [False]
+        assert reg.peek() == RWord(1, "a", 0b10)
+
+
+class TestRWord:
+    def test_with_bits(self):
+        word = RWord(4, "x", 0b01)
+        assert word.with_bits(0b10) == RWord(4, "x", 0b10)
+
+    def test_frozen(self):
+        word = RWord(0, "x", 0)
+        with pytest.raises(Exception):
+            word.seq = 1
+
+    def test_repr_contains_fields(self):
+        text = repr(RWord(2, "val", 5))
+        assert "seq=2" in text and "0x5" in text
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+
+    def test_sorts_below_everything(self):
+        assert BOTTOM < 0
+        assert BOTTOM < "a"
+        assert not (BOTTOM < BOTTOM)
+        assert BOTTOM <= BOTTOM
+        assert BOTTOM >= BOTTOM
+        assert not (BOTTOM > 5)
+
+    def test_hashable(self):
+        assert {BOTTOM: 1}[Bottom()] == 1
+
+
+class TestArrays:
+    def test_register_array_lazy_default(self):
+        arr = RegisterArray("V", default="init")
+        reg = arr[3]
+        assert reg.peek() == "init"
+        assert reg.name == "V[3]"
+        assert arr[3] is reg  # memoised
+
+    def test_register_array_negative_index(self):
+        arr = RegisterArray("V")
+        with pytest.raises(IndexError):
+            arr[-1]
+
+    def test_bit_matrix_defaults_false(self):
+        matrix = BitMatrix("B", width=3)
+        assert matrix[0, 2].peek() is False
+        assert matrix[5, 0].name == "B[5][0]"
+
+    def test_bit_matrix_bounds(self):
+        matrix = BitMatrix("B", width=3)
+        with pytest.raises(IndexError):
+            matrix[0, 3]
+        with pytest.raises(IndexError):
+            matrix[-1, 0]
+
+    def test_materialised(self):
+        arr = RegisterArray("V")
+        arr[0], arr[7]
+        assert set(arr.materialised()) == {0, 7}

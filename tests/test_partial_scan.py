@@ -1,0 +1,79 @@
+"""Tests for the partial-scan extension (Section 6 future work).
+
+The key finding: with the max-register construction a partial scan is
+*effective for the full view* -- the scanner learns everything, and
+audits report everything.  True partial-knowledge scans remain open.
+"""
+
+import pytest
+
+from repro import Simulation
+from repro.core import AuditableSnapshot
+
+
+def build():
+    sim = Simulation()
+    snap = AuditableSnapshot(components=3, num_scanners=1, initial=0)
+    updaters = [snap.updater(sim.spawn(f"u{i}"), i) for i in range(3)]
+    scanner = snap.scanner(sim.spawn("s0"), 0)
+    auditor = snap.auditor(sim.spawn("a"))
+    return sim, snap, updaters, scanner, auditor
+
+
+def run(sim, pid, op):
+    sim.add_program(pid, [op])
+    sim.run_process(pid)
+    return sim.history.operations(pid=pid)[-1].result
+
+
+class TestPartialScan:
+    def test_projection_returned(self):
+        sim, snap, ups, scanner, auditor = build()
+        for i, value in enumerate(("a", "b", "c")):
+            run(sim, f"u{i}", ups[i].update_op(value))
+        assert run(sim, "s0", scanner.partial_scan_op((0, 2))) == ("a", "c")
+
+    def test_single_component(self):
+        sim, snap, ups, scanner, auditor = build()
+        run(sim, "u1", ups[1].update_op("x"))
+        assert run(sim, "s0", scanner.partial_scan_op((1,))) == ("x",)
+
+    def test_component_bounds(self):
+        sim, snap, ups, scanner, auditor = build()
+        sim.add_program("s0", [scanner.partial_scan_op((3,))])
+        with pytest.raises(IndexError):
+            sim.run_process("s0")
+
+    def test_cost_is_still_one_register_read(self):
+        sim, snap, ups, scanner, auditor = build()
+        run(sim, "u0", ups[0].update_op("x"))
+        op_result = run(sim, "s0", scanner.partial_scan_op((0,)))
+        op = sim.history.operations(pid="s0")[-1]
+        assert len(op.primitives) <= 3
+
+    def test_audit_reports_full_view_not_projection(self):
+        """The honesty property: the scanner became effective for the
+        whole view, so the audit reports the whole view."""
+        sim, snap, ups, scanner, auditor = build()
+        for i, value in enumerate(("a", "b", "c")):
+            run(sim, f"u{i}", ups[i].update_op(value))
+        run(sim, "s0", scanner.partial_scan_op((1,)))
+        report = run(sim, "a", auditor.audit_op())
+        assert report == frozenset({(0, ("a", "b", "c"))})
+
+    def test_full_view_is_in_scanner_trace(self):
+        """Why full-view reporting is honest: the projection is local
+        computation -- the scanner's *trace* contains every component."""
+        sim, snap, ups, scanner, auditor = build()
+        for i, value in enumerate(("a", "b", "c")):
+            run(sim, f"u{i}", ups[i].update_op(value))
+        run(sim, "s0", scanner.partial_scan_op((1,)))
+        observed = [
+            event.result.val.value[1]
+            for event in sim.history.primitive_events(
+                pid="s0",
+                obj_name=snap.M.R.name,
+                primitive="fetch_xor",
+            )
+        ]
+        assert ("a", "b", "c") in observed

@@ -1,0 +1,176 @@
+"""Property-based tests: paper invariants under generated workloads.
+
+Hypothesis generates workload shapes, operation mixes and schedule
+seeds; every generated execution must satisfy the paper's invariants.
+These complement the seed-sweep tests with genuinely adversarial
+shrinking: a failing case minimises to the smallest violating workload.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    check_audit_exactness,
+    check_audit_monotone,
+    check_fetch_xor_uniqueness,
+    check_phase_structure,
+    check_value_sequence,
+    effective_reads,
+)
+from repro.analysis.audit_checks import expected_audit_set
+from repro.sim.scheduler import PrioritySchedule, RandomSchedule
+from repro.workloads.generators import (
+    RegisterWorkload,
+    SnapshotWorkload,
+    build_max_register_system,
+    build_register_system,
+    build_snapshot_system,
+)
+
+register_workloads = st.builds(
+    RegisterWorkload,
+    num_readers=st.integers(min_value=1, max_value=4),
+    num_writers=st.integers(min_value=1, max_value=3),
+    num_auditors=st.integers(min_value=1, max_value=2),
+    reads_per_reader=st.integers(min_value=0, max_value=4),
+    writes_per_writer=st.integers(min_value=0, max_value=4),
+    audits_per_auditor=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+schedules = st.one_of(
+    st.builds(RandomSchedule, seed=st.integers(0, 10_000)),
+    st.builds(
+        PrioritySchedule,
+        weights=st.fixed_dictionaries(
+            {"r": st.floats(0.5, 30.0), "w": st.floats(0.5, 30.0)}
+        ),
+        seed=st.integers(0, 10_000),
+    ),
+)
+
+
+class TestRegisterProperties:
+    @given(workload=register_workloads, schedule=schedules)
+    @settings(max_examples=60, deadline=None)
+    def test_all_invariants(self, workload, schedule):
+        built = build_register_system(workload, schedule=schedule)
+        history = built.run()
+        reg = built.register
+        assert check_audit_exactness(history, reg) == []
+        assert check_phase_structure(history, reg) == []
+        assert check_fetch_xor_uniqueness(history, reg) == []
+        assert check_value_sequence(history, reg) == []
+        assert check_audit_monotone(history) == []
+        assert history.pending_operations() == []
+
+    @given(workload=register_workloads)
+    @settings(max_examples=40, deadline=None)
+    def test_audits_subset_chain(self, workload):
+        """Audit results along the execution form a chain under the
+        final oracle: each audit set is a subset of the expected set at
+        the end of the execution."""
+        built = build_register_system(workload)
+        history = built.run()
+        final = expected_audit_set(
+            history, built.register, history.length
+        )
+        for op in history.complete_operations(name="audit"):
+            assert set(op.result) <= final
+
+    @given(workload=register_workloads)
+    @settings(max_examples=40, deadline=None)
+    def test_read_results_are_written_values(self, workload):
+        built = build_register_system(workload)
+        history = built.run()
+        legal = {workload.initial} | {
+            v
+            for i in range(workload.num_writers)
+            for v in workload.write_values(i)
+        }
+        for op in history.complete_operations(name="read"):
+            assert op.result in legal
+
+    @given(workload=register_workloads)
+    @settings(max_examples=30, deadline=None)
+    def test_effective_reads_match_completions(self, workload):
+        """Every completed read is effective with its returned value."""
+        built = build_register_system(workload)
+        history = built.run()
+        effective = {
+            (e.pid, e.op_id): e.value
+            for e in effective_reads(history, built.register)
+        }
+        for op in history.complete_operations(name="read"):
+            assert effective.get((op.pid, op.op_id)) == op.result
+
+
+class TestMaxRegisterProperties:
+    @given(workload=register_workloads, schedule=schedules)
+    @settings(max_examples=50, deadline=None)
+    def test_all_invariants(self, workload, schedule):
+        built = build_max_register_system(workload, schedule=schedule)
+        history = built.run()
+        reg = built.register
+        assert check_audit_exactness(history, reg) == []
+        assert check_phase_structure(history, reg) == []
+        assert check_fetch_xor_uniqueness(history, reg) == []
+        assert check_value_sequence(history, reg, monotone=True) == []
+        assert history.pending_operations() == []
+
+    @given(workload=register_workloads)
+    @settings(max_examples=40, deadline=None)
+    def test_per_reader_reads_monotone(self, workload):
+        """A single reader's successive max-register reads never
+        decrease (monotonicity of the max register)."""
+        built = build_max_register_system(workload)
+        history = built.run()
+        for pid in built.reader_index:
+            values = [
+                op.result
+                for op in history.complete_operations(name="read")
+                if op.pid == pid
+            ]
+            assert values == sorted(values)
+
+
+class TestSnapshotProperties:
+    snapshot_workloads = st.builds(
+        SnapshotWorkload,
+        components=st.integers(min_value=1, max_value=3),
+        num_scanners=st.integers(min_value=1, max_value=2),
+        updates_per_component=st.integers(min_value=0, max_value=2),
+        scans_per_scanner=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+
+    @given(workload=snapshot_workloads)
+    @settings(max_examples=40, deadline=None)
+    def test_views_are_component_wise_monotone_per_scanner(self, workload):
+        """Views observed by one scanner are totally ordered by the max
+        register's version number: a later scan never observes an older
+        view."""
+        built = build_snapshot_system(workload)
+        history = built.run()
+        m_reg = built.register.M
+        for pid in built.scanner_index:
+            versions = [
+                e.result.val.value[0]
+                for e in history.primitive_events(
+                    pid=pid, obj_name=m_reg.R.name, primitive="fetch_xor"
+                )
+            ]
+            assert versions == sorted(versions)
+        assert history.pending_operations() == []
+
+    @given(workload=snapshot_workloads)
+    @settings(max_examples=30, deadline=None)
+    def test_scanned_views_contain_written_values_only(self, workload):
+        built = build_snapshot_system(workload)
+        history = built.run()
+        written = {
+            op.args[0]
+            for op in history.complete_operations(name="update")
+        } | {0}
+        for op in history.complete_operations(name="scan"):
+            assert set(op.result) <= written

@@ -1,0 +1,109 @@
+"""Edge-case tests for the runner and the experiments entry point."""
+
+import pytest
+
+from repro.memory.register import AtomicRegister
+from repro.sim.process import Op, ProcessState
+from repro.sim.runner import Simulation
+
+
+def spin_op(reg, steps, name="spin"):
+    def gen():
+        for _ in range(steps):
+            yield from reg.read()
+
+    return Op(name, gen)
+
+
+class TestRunBounds:
+    def test_run_max_steps_stops_early(self):
+        sim = Simulation()
+        reg = AtomicRegister("x", 0)
+        sim.spawn("p")
+        sim.add_program("p", [spin_op(reg, 10)])
+        sim.run(max_steps=3)
+        assert sim.steps_taken == 3
+        assert sim.processes["p"].has_work()
+
+    def test_run_resumes_after_bound(self):
+        sim = Simulation()
+        reg = AtomicRegister("x", 0)
+        sim.spawn("p")
+        sim.add_program("p", [spin_op(reg, 5)])
+        sim.run(max_steps=2)
+        sim.run()
+        assert not sim.processes["p"].has_work()
+        assert len(sim.history.complete_operations()) == 1
+
+    def test_extending_program_after_done(self):
+        sim = Simulation()
+        reg = AtomicRegister("x", 0)
+        sim.spawn("p")
+        sim.add_program("p", [spin_op(reg, 1, "first")])
+        sim.run()
+        assert sim.processes["p"].state is ProcessState.DONE
+        sim.add_program("p", [spin_op(reg, 1, "second")])
+        assert sim.processes["p"].state is ProcessState.IDLE
+        sim.run()
+        assert [op.name for op in sim.history.operations()] == [
+            "first",
+            "second",
+        ]
+
+    def test_step_process_on_finished_process(self):
+        sim = Simulation()
+        reg = AtomicRegister("x", 0)
+        sim.spawn("p")
+        sim.add_program("p", [spin_op(reg, 1)])
+        sim.run()
+        assert sim.step_process("p") is False
+
+
+class TestExperimentsMain:
+    def test_main_returns_zero_on_pass(self, capsys):
+        from repro.harness.experiments import main
+
+        assert main(["E9"]) == 0
+        out = capsys.readouterr().out
+        assert "E9" in out and "PASS" in out
+
+    def test_main_lowercase_names(self, capsys):
+        from repro.harness.experiments import main
+
+        assert main(["e9"]) == 0
+
+    def test_run_all_subset(self):
+        from repro.harness.experiments import run_all
+
+        results = run_all(["E9"])
+        assert len(results) == 1 and results[0].ok
+
+
+class TestOpValidation:
+    def test_op_factory_with_args(self):
+        sim = Simulation()
+        reg = AtomicRegister("x", None)
+
+        def write_gen(value):
+            yield from reg.write(value)
+
+        sim.spawn("p")
+        sim.add_program("p", [Op("write", write_gen, ("payload",))])
+        sim.run()
+        assert reg.peek() == "payload"
+
+    def test_zero_step_operation(self):
+        # An operation with no primitives completes at its invocation
+        # step.
+        sim = Simulation()
+
+        def nothing():
+            return "done"
+            yield  # pragma: no cover -- makes it a generator
+
+        sim.spawn("p")
+        sim.add_program("p", [Op("noop", nothing)])
+        sim.run()
+        op = sim.history.operations()[0]
+        assert op.is_complete and op.result == "done"
+        assert op.primitives == []

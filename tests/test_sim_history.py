@@ -1,0 +1,99 @@
+"""Tests for History: queries, projections and pretty rendering."""
+
+from repro.memory.register import AtomicRegister
+from repro.sim.history import History
+from repro.sim.process import Op
+from repro.sim.runner import Simulation
+
+
+def build_history():
+    sim = Simulation()
+    a = AtomicRegister("a", 1)
+    b = AtomicRegister("b", 2)
+
+    def reader(reg, name):
+        def gen():
+            return (yield from reg.read())
+
+        return Op(name, gen)
+
+    sim.spawn("p")
+    sim.spawn("q")
+    sim.add_program("p", [reader(a, "read_a"), reader(b, "read_b")])
+    sim.add_program("q", [reader(b, "read_b")])
+    sim.run()
+    return sim.history
+
+
+class TestQueries:
+    def test_operations_in_invocation_order(self):
+        history = build_history()
+        names = [op.name for op in history.operations()]
+        assert sorted(names) == ["read_a", "read_b", "read_b"]
+
+    def test_filter_by_pid_and_name(self):
+        history = build_history()
+        assert len(history.operations(pid="p")) == 2
+        assert len(history.operations(name="read_b")) == 2
+        assert len(history.operations(pid="q", name="read_b")) == 1
+
+    def test_complete_and_pending(self):
+        history = build_history()
+        assert len(history.complete_operations()) == 3
+        assert history.pending_operations() == []
+
+    def test_primitive_filters(self):
+        history = build_history()
+        assert len(history.primitive_events(obj_name="a")) == 1
+        assert len(history.primitive_events(obj_name="b")) == 2
+        assert len(history.primitive_events(pid="q")) == 1
+        assert history.primitive_events(primitive="write") == []
+
+    def test_projection_contains_results(self):
+        history = build_history()
+        view = history.projection("p")
+        assert view == [("a", "read", (), 1), ("b", "read", (), 2)]
+
+    def test_operation_lookup(self):
+        history = build_history()
+        op = history.operation("p", 0)
+        assert op.name == "read_a"
+        assert op.result == 1
+
+    def test_precedes(self):
+        history = build_history()
+        p_ops = history.operations(pid="p")
+        assert p_ops[0].precedes(p_ops[1])
+        assert not p_ops[1].precedes(p_ops[0])
+
+    def test_indices_monotone(self):
+        history = build_history()
+        indices = [e.index for e in history.events]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+
+class TestPretty:
+    def test_pretty_mentions_everything(self):
+        history = build_history()
+        text = history.pretty()
+        assert "invoke" in text
+        assert "response" in text
+        assert "a.read" in text
+
+    def test_pretty_limit(self):
+        history = build_history()
+        assert len(history.pretty(limit=2).splitlines()) == 2
+
+    def test_len_and_iter(self):
+        history = build_history()
+        assert len(history) == len(list(history))
+
+
+class TestEmpty:
+    def test_empty_history(self):
+        history = History()
+        assert history.operations() == []
+        assert history.primitive_events() == []
+        assert history.projection("p") == []
+        assert len(history) == 0

@@ -1,0 +1,180 @@
+"""Tests for the simulation driver: stepping semantics, recording,
+crashes and error handling."""
+
+import pytest
+
+from repro.memory.register import AtomicRegister, CasRegister
+from repro.sim.events import (
+    CrashEvent,
+    Invocation,
+    PendingPrimitive,
+    PrimitiveEvent,
+    Response,
+)
+from repro.sim.process import Op, ProcessState
+from repro.sim.runner import Simulation, StepBudgetExceeded
+from repro.sim.scheduler import ReplaySchedule
+
+
+def copy_op(src: AtomicRegister, dst: AtomicRegister, name="copy") -> Op:
+    def gen():
+        value = yield from src.read()
+        yield from dst.write(value)
+        return value
+
+    return Op(name, gen)
+
+
+class TestStepping:
+    def test_invocation_then_one_primitive_per_step(self):
+        sim = Simulation()
+        a = AtomicRegister("a", 5)
+        b = AtomicRegister("b", None)
+        sim.spawn("p")
+        sim.add_program("p", [copy_op(a, b)])
+
+        assert sim.step()  # invocation: no primitive yet
+        assert sim.history.primitive_events() == []
+        assert isinstance(sim.history.events[0], Invocation)
+
+        assert sim.step()  # a.read executes
+        assert len(sim.history.primitive_events()) == 1
+        assert b.peek() is None
+
+        assert sim.step()  # b.write executes; op completes same step
+        assert b.peek() == 5
+        assert isinstance(sim.history.events[-1], Response)
+        assert not sim.step()  # nothing left
+
+    def test_response_records_return_value(self):
+        sim = Simulation()
+        a = AtomicRegister("a", "hello")
+        b = AtomicRegister("b", None)
+        sim.spawn("p")
+        sim.add_program("p", [copy_op(a, b)])
+        sim.run()
+        op = sim.history.operations()[0]
+        assert op.is_complete
+        assert op.result == "hello"
+        assert [e.primitive for e in op.primitives] == ["read", "write"]
+
+    def test_multiple_ops_sequential_per_process(self):
+        sim = Simulation()
+        a = AtomicRegister("a", 1)
+        b = AtomicRegister("b", 0)
+        sim.spawn("p")
+        sim.add_program("p", [copy_op(a, b, "c1"), copy_op(b, a, "c2")])
+        sim.run()
+        ops = sim.history.operations()
+        assert [op.name for op in ops] == ["c1", "c2"]
+        assert ops[0].response_index < ops[1].invoke_index
+
+    def test_run_process_ignores_schedule(self):
+        sim = Simulation(schedule=ReplaySchedule(["q"] * 50))
+        a = AtomicRegister("a", 7)
+        b = AtomicRegister("b", None)
+        sim.spawn("p")
+        sim.spawn("q")
+        sim.add_program("p", [copy_op(a, b)])
+        sim.run_process("p")
+        assert b.peek() == 7
+
+    def test_run_process_bounded_ops(self):
+        sim = Simulation()
+        a = AtomicRegister("a", 1)
+        b = AtomicRegister("b", 0)
+        sim.spawn("p")
+        sim.add_program("p", [copy_op(a, b, f"c{i}") for i in range(3)])
+        sim.run_process("p", ops=2)
+        assert len(sim.history.complete_operations()) == 2
+        assert sim.processes["p"].has_work()
+
+
+class TestCrash:
+    def test_crash_leaves_operation_pending(self):
+        sim = Simulation()
+        a = AtomicRegister("a", 5)
+        b = AtomicRegister("b", None)
+        sim.spawn("p")
+        sim.add_program("p", [copy_op(a, b)])
+        sim.step()  # invocation
+        sim.step()  # a.read
+        sim.crash("p")
+        sim.run()
+        op = sim.history.operations()[0]
+        assert op.is_pending
+        assert b.peek() is None  # write never happened
+        assert sim.processes["p"].state is ProcessState.CRASHED
+        assert any(isinstance(e, CrashEvent) for e in sim.history.events)
+
+    def test_crashed_process_never_scheduled(self):
+        sim = Simulation()
+        a = AtomicRegister("a", 5)
+        b = AtomicRegister("b", None)
+        sim.spawn("p")
+        sim.add_program("p", [copy_op(a, b)])
+        sim.crash("p")
+        assert sim.runnable() == []
+        assert not sim.step()
+
+
+class TestErrors:
+    def test_non_generator_op_rejected(self):
+        sim = Simulation()
+        sim.spawn("p")
+        sim.add_program("p", [Op("bad", lambda: 42)])
+        with pytest.raises(TypeError, match="generator"):
+            sim.run()
+
+    def test_yielding_garbage_rejected(self):
+        sim = Simulation()
+        sim.spawn("p")
+
+        def bad():
+            yield "not a primitive"
+
+        sim.add_program("p", [Op("bad", bad)])
+        with pytest.raises(TypeError, match="PendingPrimitive"):
+            sim.run()
+
+    def test_duplicate_pid_rejected(self):
+        sim = Simulation()
+        sim.spawn("p")
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.spawn("p")
+
+    def test_step_budget(self):
+        sim = Simulation(max_steps=5)
+        a = AtomicRegister("a", 0)
+
+        def spin():
+            while True:
+                yield from a.read()
+
+        sim.spawn("p")
+        sim.add_program("p", [Op("spin", spin)])
+        with pytest.raises(StepBudgetExceeded):
+            sim.run()
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self):
+        from repro.sim.scheduler import RandomSchedule
+
+        def build(seed):
+            sim = Simulation(schedule=RandomSchedule(seed))
+            a = AtomicRegister("a", 0)
+            b = AtomicRegister("b", 0)
+            for pid in ("p", "q"):
+                sim.spawn(pid)
+                sim.add_program(pid, [copy_op(a, b), copy_op(b, a)])
+            sim.run()
+            return [
+                (e.pid, e.obj_name, e.primitive)
+                for e in sim.history.primitive_events()
+            ]
+
+        assert build(3) == build(3)
+        # Different seeds almost surely interleave differently over
+        # eight primitives; check at least one of a few differs.
+        assert any(build(3) != build(s) for s in (4, 5, 6))

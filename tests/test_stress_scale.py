@@ -1,0 +1,90 @@
+"""Scale tests: long executions keep every structural invariant.
+
+Linearizability search is exponential, so these check only the
+linear-time oracles (audit exactness, phases, fetch&xor uniqueness,
+value sequence) -- but over executions three orders of magnitude longer
+than the exhaustive scenarios.
+"""
+
+import pytest
+
+from repro.analysis import (
+    check_audit_exactness,
+    check_fetch_xor_uniqueness,
+    check_phase_structure,
+    check_value_sequence,
+)
+from repro.workloads.generators import (
+    RegisterWorkload,
+    SnapshotWorkload,
+    build_max_register_system,
+    build_register_system,
+    build_snapshot_system,
+)
+
+
+class TestRegisterScale:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_register_workload(self, seed):
+        built = build_register_system(
+            RegisterWorkload(
+                num_readers=8,
+                num_writers=4,
+                num_auditors=2,
+                reads_per_reader=40,
+                writes_per_writer=30,
+                audits_per_auditor=10,
+                seed=seed,
+            )
+        )
+        history = built.run()
+        assert history.pending_operations() == []
+        assert check_audit_exactness(history, built.register) == []
+        assert check_phase_structure(history, built.register) == []
+        assert check_fetch_xor_uniqueness(history, built.register) == []
+        assert check_value_sequence(history, built.register) == []
+        # Enough happened to call this a scale test (exact counts vary
+        # with the schedule: silent reads cost a single primitive).
+        assert len(history.primitive_events()) > 1000
+
+    def test_many_readers(self):
+        built = build_register_system(
+            RegisterWorkload(
+                num_readers=32, num_writers=2, reads_per_reader=5,
+                writes_per_writer=10, seed=0,
+            )
+        )
+        history = built.run()
+        assert check_audit_exactness(history, built.register) == []
+        assert check_fetch_xor_uniqueness(history, built.register) == []
+
+
+class TestMaxRegisterScale:
+    def test_large_max_workload(self):
+        built = build_max_register_system(
+            RegisterWorkload(
+                num_readers=6, num_writers=6, reads_per_reader=30,
+                writes_per_writer=20, audits_per_auditor=5, seed=1,
+            )
+        )
+        history = built.run()
+        assert history.pending_operations() == []
+        assert check_audit_exactness(history, built.register) == []
+        assert check_value_sequence(
+            history, built.register, monotone=True
+        ) == []
+
+
+class TestSnapshotScale:
+    def test_large_snapshot_workload(self):
+        built = build_snapshot_system(
+            SnapshotWorkload(
+                components=6, num_scanners=4, updates_per_component=10,
+                scans_per_scanner=10, audits_per_auditor=3, seed=2,
+            )
+        )
+        history = built.run()
+        assert history.pending_operations() == []
+        # Scans stay cheap regardless of scale.
+        for op in history.complete_operations(name="scan"):
+            assert len(op.primitives) <= 3

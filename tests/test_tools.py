@@ -1,0 +1,87 @@
+"""Tests for the trace export and timeline tools."""
+
+import json
+
+import pytest
+
+from repro import AuditableRegister, RandomSchedule, Simulation
+from repro.tools import history_to_dict, render_timeline, save_history
+
+
+def build_history(crash_reader=False):
+    sim = Simulation(schedule=RandomSchedule(4))
+    reg = AuditableRegister(num_readers=1, initial="v0")
+    writer = reg.writer(sim.spawn("w0"))
+    reader = reg.reader(sim.spawn("r0"), 0)
+    auditor = reg.auditor(sim.spawn("a0"))
+    sim.add_program("w0", [writer.write_op("x")])
+    sim.add_program("r0", [reader.read_op()])
+    sim.add_program("a0", [auditor.audit_op()])
+    if crash_reader:
+        sim.step_process("r0")
+        sim.crash("r0")
+    sim.run()
+    return sim.history, reg
+
+
+class TestExport:
+    def test_dict_roundtrips_through_json(self):
+        history, _ = build_history()
+        data = history_to_dict(history)
+        text = json.dumps(data)
+        assert json.loads(text) == data
+
+    def test_event_and_operation_counts(self):
+        history, _ = build_history()
+        data = history_to_dict(history)
+        assert len(data["operations"]) == 3
+        primitives = [
+            e for e in data["events"] if e["type"] == "primitive"
+        ]
+        assert len(primitives) == len(history.primitive_events())
+
+    def test_crash_events_exported(self):
+        history, _ = build_history(crash_reader=True)
+        data = history_to_dict(history)
+        assert any(e["type"] == "crash" for e in data["events"])
+        pending = [
+            op for op in data["operations"]
+            if op["response_index"] is None
+        ]
+        assert len(pending) == 1
+
+    def test_save_history(self, tmp_path):
+        history, _ = build_history()
+        path = tmp_path / "trace.json"
+        save_history(history, str(path))
+        assert json.loads(path.read_text())["operations"]
+
+
+class TestTimeline:
+    def test_timeline_mentions_all_ops(self):
+        history, reg = build_history()
+        chart = render_timeline(history, reg)
+        for label in ("w0 write#0", "r0 read#0", "a0 audit#0"):
+            assert label in chart
+
+    def test_timeline_markers(self):
+        history, reg = build_history()
+        chart = render_timeline(history, reg)
+        assert "W" in chart  # install CAS
+        assert "X" in chart  # fetch&xor
+        assert "A" in chart  # audit's R read
+
+    def test_pending_ops_open_ended(self):
+        history, reg = build_history(crash_reader=True)
+        chart = render_timeline(history, reg)
+        assert ">" in chart
+
+    def test_empty_history(self):
+        from repro.sim.history import History
+
+        assert render_timeline(History()) == "(empty history)"
+
+    def test_without_register_no_markers(self):
+        history, _ = build_history()
+        chart = render_timeline(history)
+        assert "[" in chart and "]" in chart
