@@ -1,0 +1,166 @@
+"""B7 -- parallel sweep throughput and the scheduler hot-path win.
+
+Two measurements the paper's asymptotics do not cover:
+
+- *Sweep fan-out*: a 64-seed register sweep through
+  :mod:`repro.engine`, serial vs a worker pool.  The engine's
+  determinism contract is asserted, not just timed: both modes must
+  produce byte-identical JSONL records.  The speedup assertion only
+  applies on boxes with >= 4 cores (pool overhead dominates below
+  that); the numbers are always recorded in ``extra_info``.
+- *Scheduler hot path*: per-step cost of the optimized
+  runnable-set/ordering path against a faithful re-implementation of
+  the pre-optimization behavior (full process scan plus a fresh
+  ``sorted()`` per step), on identical executions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine import make_tasks, register_sweep_task, run_tasks
+from repro.memory.register import AtomicRegister
+from repro.sim.process import Op
+from repro.sim.runner import Simulation
+from repro.sim.scheduler import RandomSchedule
+
+SWEEP_SEEDS = 64
+# Heavy enough (~20ms/task serial) that pool start-up cost is noise
+# next to the fan-out win; light enough to keep the bench under ~3s.
+SWEEP_POINT = dict(
+    num_readers=6, num_writers=3, reads_per_reader=10,
+    writes_per_writer=6, audits_per_auditor=2,
+)
+
+
+def _sweep_tasks():
+    return make_tasks([SWEEP_POINT], seeds=list(range(SWEEP_SEEDS)))
+
+
+def test_bench_parallel_sweep(benchmark):
+    """64-seed sweep: parallel == serial byte-for-byte; timings recorded."""
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+
+    t0 = time.perf_counter()
+    serial = run_tasks(register_sweep_task, _sweep_tasks(), workers=1)
+    serial_s = time.perf_counter() - t0
+
+    parallel = benchmark.pedantic(
+        lambda: run_tasks(
+            register_sweep_task, _sweep_tasks(), workers=workers
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = parallel.elapsed
+
+    assert serial.lines() == parallel.lines(), (
+        "parallel sweep diverged from the serial path"
+    )
+    assert all(
+        not rec["payload"]["lin_fail"] and not rec["payload"]["audit_fail"]
+        for rec in serial.records
+    )
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    benchmark.extra_info["seeds"] = SWEEP_SEEDS
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["serial_seconds"] = round(serial_s, 4)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_s, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x on a {cores}-core box, got {speedup:.2f}x"
+        )
+
+
+# -- scheduler hot path ----------------------------------------------------
+
+class _LegacyRandomSchedule(RandomSchedule):
+    """The pre-optimization choose(): a fresh sorted() every step."""
+
+    def choose(self, runnable, step_index):
+        return self._rng.choice(sorted(runnable, key=lambda p: p.pid))
+
+
+def _build_spin_sim(schedule, processes=48, steps=150):
+    sim = Simulation(schedule=schedule)
+    reg = AtomicRegister("x", 0)
+
+    def spin():
+        def gen():
+            for _ in range(steps):
+                yield from reg.read()
+
+        return Op("spin", gen)
+
+    for i in range(processes):
+        pid = f"p{i:03d}"
+        sim.spawn(pid)
+        sim.add_program(pid, [spin()])
+    return sim
+
+
+def _run_legacy(sim):
+    """The pre-optimization step loop: re-scan every process per step."""
+    while True:
+        runnable = [p for p in sim.processes.values() if p.has_work()]
+        if not runnable:
+            return sim
+        sim._steps_taken += 1
+        process = sim.schedule.choose(runnable, sim._steps_taken)
+        sim._advance(process)
+
+
+def _step_order(sim):
+    return [e.pid for e in sim.history.primitive_events()]
+
+
+def test_bench_scheduler_hot_path(benchmark):
+    """Optimized stepping vs the old scan+sort loop, same executions."""
+    t0 = time.perf_counter()
+    legacy = _run_legacy(_build_spin_sim(_LegacyRandomSchedule(7)))
+    legacy_s = time.perf_counter() - t0
+
+    def build_and_run():
+        sim = _build_spin_sim(RandomSchedule(7))
+        sim.run()
+        return sim
+
+    optimized = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
+
+    # Identical adversary: the optimization must not change executions.
+    assert _step_order(optimized) == _step_order(legacy)
+
+    t0 = time.perf_counter()
+    timed = _build_spin_sim(RandomSchedule(7))
+    timed.run()
+    optimized_s = time.perf_counter() - t0
+
+    steps = legacy.steps_taken
+    benchmark.extra_info["steps"] = steps
+    benchmark.extra_info["legacy_steps_per_s"] = int(steps / legacy_s)
+    benchmark.extra_info["optimized_steps_per_s"] = int(steps / optimized_s)
+    benchmark.extra_info["hot_path_speedup"] = round(
+        legacy_s / optimized_s, 2
+    )
+    # The win is ~2.5-3x locally; assert a conservative floor so noisy
+    # CI boxes do not flake.
+    assert optimized_s < legacy_s
+
+
+def test_weight_memoization_wins():
+    """PrioritySchedule no longer recomputes prefix matches per step."""
+    from repro.sim.scheduler import PrioritySchedule
+
+    sched = PrioritySchedule({"p0": 5.0, "p00": 9.0}, seed=0)
+    rng_state_before = sched._rng.getstate()
+    assert sched._weight("p001") == 9.0
+    assert sched._weight_cache["p001"] == 9.0
+    # Cached lookups return without touching the weights mapping.
+    sched.weights.clear()
+    assert sched._weight("p001") == 9.0
+    assert sched._rng.getstate() == rng_state_before

@@ -46,6 +46,14 @@ from repro.core import (
     logical_clock_spec,
 )
 from repro.crypto import NonceSource, OneTimePadSequence
+from repro.engine import (
+    EngineReport,
+    ExecutionTask,
+    ParallelSweep,
+    derive_seed,
+    make_tasks,
+    run_tasks,
+)
 from repro.memory import BOTTOM
 from repro.sim import (
     History,
@@ -68,11 +76,14 @@ __all__ = [
     "AuditableSnapshot",
     "AuditableVersioned",
     "BOTTOM",
+    "EngineReport",
+    "ExecutionTask",
     "History",
     "Nonced",
     "NonceSource",
     "OneTimePadSequence",
     "Op",
+    "ParallelSweep",
     "PrioritySchedule",
     "Process",
     "RandomSchedule",
@@ -82,8 +93,11 @@ __all__ = [
     "Simulation",
     "TypeSpec",
     "counter_spec",
+    "derive_seed",
     "journal_spec",
     "kv_store_spec",
     "logical_clock_spec",
+    "make_tasks",
+    "run_tasks",
     "__version__",
 ]

@@ -2,8 +2,19 @@
 
     python -m repro                     # overview
     python -m repro experiments [E...]  # run experiment drivers
+    python -m repro sweep [options]     # parallel seeded sweep (engine)
     python -m repro attacks             # run the attack gallery
     python -m repro version
+
+Sweep example -- 64 derived seeds per grid point, fanned out over 4
+worker processes, streamed to a resumable JSONL checkpoint::
+
+    python -m repro sweep --seeds 64 --readers 1 2 4 --writers 1 2 \\
+        --workers 4 --out sweep.jsonl
+
+A quick serial sanity pass (used by CI)::
+
+    python -m repro sweep --smoke
 """
 
 from __future__ import annotations
@@ -21,11 +32,136 @@ def _overview() -> int:
     print()
     print("commands:")
     print("  python -m repro experiments [names]   run experiment drivers")
+    print("  python -m repro sweep [options]       parallel seeded sweep")
     print("  python -m repro attacks               run the attack gallery")
     print("  python -m repro version               print the version")
     print()
+    print("sweep example:")
+    print("  python -m repro sweep --seeds 64 --workers 4 --out sweep.jsonl")
+    print()
     print("registered experiments:", " ".join(sorted(registry())))
     return 0
+
+
+def _sweep(argv) -> int:
+    """The ``sweep`` subcommand: seeded executions through the engine."""
+    import argparse
+    import os
+
+    from repro.engine import (
+        aggregate_counts,
+        all_clean,
+        make_tasks,
+        register_sweep_task,
+        run_tasks,
+        snapshot_sweep_task,
+    )
+    from repro.harness.tables import render_table
+    from repro.workloads.sweeps import Sweep
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run seeded executions of an auditable object over a "
+        "parameter grid, checking linearizability and audit exactness "
+        "per execution.  Seeds are derived deterministically from "
+        "--root-seed, so results depend only on the grid, never on "
+        "worker count or scheduling.",
+    )
+    parser.add_argument(
+        "--object", choices=("register", "snapshot"), default="register",
+        help="which auditable object to sweep (default: register)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=16, metavar="N",
+        help="seeded executions per grid point (default: 16)",
+    )
+    parser.add_argument(
+        "--root-seed", type=int, default=0,
+        help="root of the deterministic seed fan-out (default: 0)",
+    )
+    parser.add_argument(
+        "--readers", type=int, nargs="+", default=[1, 2, 4],
+        help="reader counts for the register grid (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--writers", type=int, nargs="+", default=[1, 2],
+        help="writer counts for the register grid (default: 1 2)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="W",
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="JSONL checkpoint: one canonical record per execution; "
+        "rerunning with the same file resumes an interrupted sweep",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore any existing records in --out and rerun everything",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny serial sweep (2 seeds, one grid point) for CI",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.seeds, args.readers, args.writers, args.workers = 2, [1], [1], 1
+    workers = args.workers or os.cpu_count() or 1
+
+    if args.object == "register":
+        grid = Sweep({"num_readers": args.readers,
+                      "num_writers": args.writers})
+        task_fn = register_sweep_task
+        check_fields = ("lin_fail", "audit_fail", "structural_fail")
+    else:
+        grid = Sweep({"substrate": ["afek", "atomic"]})
+        task_fn = snapshot_sweep_task
+        check_fields = ("lin_fail", "audit_fail")
+
+    tasks = make_tasks(
+        grid.points(), seeds_per_point=args.seeds, root_seed=args.root_seed
+    )
+
+    def progress(done, total, record):
+        if done % 25 == 0 or done == total:
+            print(f"sweep [{done}/{total}]", file=sys.stderr, flush=True)
+
+    report = run_tasks(
+        task_fn,
+        tasks,
+        workers=workers,
+        checkpoint=args.out,
+        resume=not args.no_resume,
+        progress=progress,
+    )
+
+    def point_label(record):
+        return grid.point_name(record["params"])
+
+    rows = []
+    for group in aggregate_counts(report.records, key=point_label):
+        row = {"point": group["group"], "executions": group["executions"]}
+        for name in check_fields:
+            row[name.replace("_", " ")] = group.get(name, 0)
+        row["total steps"] = group.get("steps", 0)
+        rows.append(row)
+    print(render_table(rows))
+    print()
+    clean = all_clean(report.records, check_fields)
+    mark = "PASS" if clean else "FAIL"
+    print(
+        f"  [{mark}] {report.total} executions "
+        f"({report.executed} run, {report.skipped} resumed) in "
+        f"{report.elapsed:.2f}s with {report.workers} worker(s); "
+        "no linearizability or audit-exactness violations"
+        if clean
+        else f"  [{mark}] violations found -- inspect the JSONL records"
+    )
+    if report.checkpoint:
+        print(f"  records: {report.checkpoint}")
+    return 0 if clean else 1
 
 
 def main(argv=None) -> int:
@@ -42,6 +178,8 @@ def main(argv=None) -> int:
         from repro.harness.experiments import main as experiments_main
 
         return experiments_main(rest)
+    if command == "sweep":
+        return _sweep(rest)
     if command == "attacks":
         import runpy
         import pathlib

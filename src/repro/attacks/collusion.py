@@ -32,6 +32,8 @@ single-reader advantage (~0).
 from __future__ import annotations
 
 import random
+
+from repro._seeding import stable_hash
 from dataclasses import dataclass
 from typing import List
 
@@ -89,7 +91,7 @@ def run_collusion_attack(
     """Coalition advantage vs. the single-reader baseline (Lemma 7)."""
     from repro.attacks.curious_reader import run_curious_reader_attack
 
-    rng = random.Random(("collusion", seed).__hash__())
+    rng = random.Random(stable_hash("collusion", seed))
     outcomes = []
     for t in range(trials):
         victim_reads = rng.random() < 0.5

@@ -18,6 +18,8 @@ flipped -- and checks the attacker's views are byte-identical.
 from __future__ import annotations
 
 import random
+
+from repro._seeding import stable_hash
 from dataclasses import dataclass
 from typing import List
 
@@ -83,7 +85,7 @@ def _one_trial(target: str, victim_reads: bool, seed: int) -> AttackOutcome:
 def run_curious_reader_attack(
     target: str, trials: int = 200, seed: int = 0
 ) -> CuriousReaderResult:
-    rng = random.Random(("curious", seed).__hash__())
+    rng = random.Random(stable_hash("curious", seed))
     outcomes = []
     for t in range(trials):
         victim_reads = rng.random() < 0.5

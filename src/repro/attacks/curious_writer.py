@@ -22,6 +22,8 @@ claims uncompromised reads *by readers* only).
 from __future__ import annotations
 
 import random
+
+from repro._seeding import stable_hash
 from dataclasses import dataclass
 from typing import List
 
@@ -74,7 +76,7 @@ def run_curious_writer_attack(
 ) -> CuriousWriterResult:
     from repro.attacks.curious_reader import run_curious_reader_attack
 
-    rng = random.Random(("curious-writer", seed).__hash__())
+    rng = random.Random(stable_hash("curious-writer", seed))
     outcomes = []
     for t in range(trials):
         victim_reads = rng.random() < 0.5

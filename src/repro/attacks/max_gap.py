@@ -29,6 +29,8 @@ Metrics per configuration:
 from __future__ import annotations
 
 import random
+
+from repro._seeding import stable_hash
 from dataclasses import dataclass
 from typing import List
 
@@ -163,7 +165,7 @@ def lemma38_pair(seed: int = 0) -> bool:
 def run_gap_attack(
     use_nonces: bool, trials: int = 200, seed: int = 0
 ) -> GapAttackResult:
-    rng = random.Random(("gap-attack", seed).__hash__())
+    rng = random.Random(stable_hash("gap-attack", seed))
     results = []
     for t in range(trials):
         wrote = rng.random() < 0.5

@@ -40,6 +40,8 @@ not be reported -- audits are exact only for completed reads.
 from __future__ import annotations
 
 import random
+
+from repro._seeding import stable_hash
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.memory.base import BaseObject
@@ -154,7 +156,7 @@ class CogoBessaniRegister:
         self.threshold = 2 * f + 1
         self.name = name
         self.initial = initial
-        self._rng = random.Random(("cogo-bessani", seed).__hash__())
+        self._rng = random.Random(stable_hash("cogo-bessani", seed))
         self.servers = [StorageObject(f"{name}.S[{i}]") for i in range(n)]
         self.values: Dict[int, int] = {0: initial}  # ts -> value
         shares = make_shares(initial, n, self.threshold, self._rng)

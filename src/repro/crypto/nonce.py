@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import random
 
+from repro._seeding import stable_hash
+
 
 class NonceSource:
     """Seeded source of fresh random nonces.
@@ -25,7 +27,7 @@ class NonceSource:
             raise ValueError("nonce width must be positive")
         self.seed = seed
         self.bits = bits
-        self._rng = random.Random(("nonce-source", seed).__hash__())
+        self._rng = random.Random(stable_hash("nonce-source", seed))
         self._issued = 0
 
     def fresh(self) -> int:

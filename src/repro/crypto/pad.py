@@ -16,6 +16,8 @@ pad seeds.
 from __future__ import annotations
 
 import random
+
+from repro._seeding import stable_hash
 from typing import FrozenSet, Iterable, List
 
 
@@ -31,7 +33,7 @@ class OneTimePadSequence:
             raise ValueError("num_readers must be non-negative")
         self.num_readers = num_readers
         self.seed = seed
-        self._rng = random.Random(("one-time-pad", seed, num_readers).__hash__())
+        self._rng = random.Random(stable_hash("one-time-pad", seed, num_readers))
         self._masks: List[int] = []
 
     def mask(self, s: int) -> int:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List
 
+from repro._seeding import stable_hash
 from repro.analysis import (
     auditable_max_register_spec,
     auditable_register_spec,
@@ -19,11 +20,8 @@ from repro.analysis import (
     check_phase_structure,
     check_value_sequence,
     effective_reads,
-    expected_audit_set,
     first_divergence,
     projections_equal,
-    snapshot_spec,
-    tag_ops_with_pid,
     tag_reads,
     versioned_spec,
 )
@@ -44,42 +42,29 @@ from repro.core.versioned import (
     logical_clock_spec,
 )
 from repro.crypto.pad import OneTimePadSequence
+from repro.engine import (
+    aggregate_counts,
+    lifted_audit_violations,
+    make_tasks,
+    register_sweep_task,
+    run_tasks,
+    snapshot_sweep_task,
+)
 from repro.harness.experiment import ExperimentResult, register
-from repro.sim.history import History
 from repro.sim.runner import Simulation
 from repro.sim.scheduler import PrioritySchedule, RandomSchedule
 from repro.substrates.consensus import AuditableConsensus
 from repro.memory.base import BOTTOM
 from repro.workloads.generators import (
     RegisterWorkload,
-    SnapshotWorkload,
     build_max_register_system,
     build_register_system,
-    build_snapshot_system,
 )
 
 
-def _lifted_audit_violations(history: History, max_register) -> int:
-    """Audit exactness for objects built *on top of* an auditable max
-    register (Algorithm 3 / Theorem 13): their audits strip the version
-    component, so compare against the stripped M-level oracle."""
-    violations = 0
-    r_name = max_register.R.name
-    for op in history.complete_operations(name="audit"):
-        lin = None
-        for event in op.primitives:
-            if event.obj_name == r_name and event.primitive == "read":
-                lin = event.index
-                break
-        if lin is None:
-            continue
-        expected = {
-            (j, pair[1])
-            for j, pair in expected_audit_set(history, max_register, lin)
-        }
-        if expected != set(op.result):
-            violations += 1
-    return violations
+# Audit exactness for objects built on top of an auditable max register
+# now lives in repro.engine.tasks so sweep workers can use it too.
+_lifted_audit_violations = lifted_audit_violations
 
 
 # ----------------------------------------------------------------------
@@ -186,49 +171,47 @@ def run_e1(
 # ----------------------------------------------------------------------
 
 @register("E2")
-def run_e2(seeds=range(60)) -> ExperimentResult:
-    """Random executions are linearizable with exact audits."""
+def run_e2(seeds=range(60), workers=1) -> ExperimentResult:
+    """Random executions are linearizable with exact audits.
+
+    The per-seed executions run through :mod:`repro.engine`; passing
+    ``workers > 1`` fans them out across a process pool without
+    changing any verdict (the engine's determinism contract).
+    """
     shapes = [
-        RegisterWorkload(num_readers=1, num_writers=1, reads_per_reader=3,
-                         writes_per_writer=3, audits_per_auditor=2),
-        RegisterWorkload(num_readers=2, num_writers=2, reads_per_reader=3,
-                         writes_per_writer=2, audits_per_auditor=2),
-        RegisterWorkload(num_readers=3, num_writers=2, reads_per_reader=2,
-                         writes_per_writer=2, audits_per_auditor=1),
+        dict(num_readers=1, num_writers=1, num_auditors=1,
+             reads_per_reader=3, writes_per_writer=3,
+             audits_per_auditor=2),
+        dict(num_readers=2, num_writers=2, num_auditors=1,
+             reads_per_reader=3, writes_per_writer=2,
+             audits_per_auditor=2),
+        dict(num_readers=3, num_writers=2, num_auditors=1,
+             reads_per_reader=2, writes_per_writer=2,
+             audits_per_auditor=1),
     ]
+    report = run_tasks(
+        register_sweep_task,
+        make_tasks(shapes, seeds=list(seeds)),
+        workers=workers,
+    )
+
+    def shape_label(record):
+        params = record["params"]
+        return (
+            f"{params['num_readers']}r/{params['num_writers']}w/"
+            f"{params['num_auditors']}a"
+        )
+
     rows = []
     ok = True
-    for shape_id, shape in enumerate(shapes):
-        lin_fail = audit_fail = invariant_fail = 0
-        executions = 0
-        for seed in seeds:
-            shape.seed = seed
-            built = build_register_system(shape)
-            history = built.run()
-            executions += 1
-            violations = (
-                check_audit_exactness(history, built.register)
-            )
-            if violations:
-                audit_fail += 1
-            structural = (
-                check_phase_structure(history, built.register)
-                + check_fetch_xor_uniqueness(history, built.register)
-                + check_value_sequence(history, built.register)
-            )
-            if structural:
-                invariant_fail += 1
-            spec = auditable_register_spec(
-                shape.initial, built.reader_index
-            )
-            result = check_history(tag_reads(history.operations()), spec)
-            if not result.ok:
-                lin_fail += 1
+    for group in aggregate_counts(report.records, key=shape_label):
+        lin_fail = group.get("lin_fail", 0)
+        audit_fail = group.get("audit_fail", 0)
+        invariant_fail = group.get("structural_fail", 0)
         rows.append(
             {
-                "shape": f"{shape.num_readers}r/{shape.num_writers}w/"
-                f"{shape.num_auditors}a",
-                "executions": executions,
+                "shape": group["group"],
+                "executions": group["executions"],
                 "linearizability violations": lin_fail,
                 "audit exactness violations": audit_fail,
                 "structural violations": invariant_fail,
@@ -510,38 +493,35 @@ def run_e6(trials=200, seeds=range(40), pair_seeds=range(30)) -> ExperimentResul
 # ----------------------------------------------------------------------
 
 @register("E7")
-def run_e7(seeds=range(40)) -> ExperimentResult:
+def run_e7(seeds=range(40), workers=1) -> ExperimentResult:
+    """Seed sweep over both snapshot substrates through the engine.
+
+    Audit exactness lifts from the inner max register; snapshot audits
+    strip version numbers, so the task compares against the stripped
+    oracle (:func:`repro.engine.tasks.snapshot_sweep_task`).
+    """
+    points = [
+        dict(substrate="afek", components=2, num_scanners=2,
+             updates_per_component=2, scans_per_scanner=2),
+        dict(substrate="atomic", components=2, num_scanners=2,
+             updates_per_component=2, scans_per_scanner=2),
+    ]
+    report = run_tasks(
+        snapshot_sweep_task,
+        make_tasks(points, seeds=list(seeds)),
+        workers=workers,
+    )
     rows = []
     ok = True
-    for substrate in ("afek", "atomic"):
-        lin_fail = audit_fail = 0
-        for seed in seeds:
-            workload = SnapshotWorkload(
-                components=2, num_scanners=2, updates_per_component=2,
-                scans_per_scanner=2, seed=seed,
-            )
-            built = build_snapshot_system(
-                workload, snapshot_substrate=substrate
-            )
-            history = built.run()
-            spec = snapshot_spec(
-                workload.components, 0,
-                built.updater_index, built.scanner_index,
-            )
-            result = check_history(
-                tag_ops_with_pid(history.operations()), spec
-            )
-            if not result.ok:
-                lin_fail += 1
-            # Audit exactness lifts from the inner max register;
-            # snapshot audits strip version numbers, so compare against
-            # the stripped oracle.
-            if _lifted_audit_violations(history, built.register.M):
-                audit_fail += 1
+    for group in aggregate_counts(
+        report.records, key=lambda rec: rec["params"]["substrate"]
+    ):
+        lin_fail = group.get("lin_fail", 0)
+        audit_fail = group.get("audit_fail", 0)
         rows.append(
             {
-                "substrate S": substrate,
-                "executions": len(list(seeds)),
+                "substrate S": group["group"],
+                "executions": group["executions"],
                 "linearizability violations": lin_fail,
                 "audit exactness violations": audit_fail,
             }
@@ -575,7 +555,7 @@ def run_e8(seeds=range(30)) -> ExperimentResult:
     for type_name, (tspec, gen) in specs.items():
         lin_fail = audit_fail = 0
         for seed in seeds:
-            rng = random.Random((type_name, seed).__hash__())
+            rng = random.Random(stable_hash(type_name, seed))
             sim = Simulation(schedule=RandomSchedule(seed))
             obj = AuditableVersioned(tspec, num_readers=2)
             reader_index = {}

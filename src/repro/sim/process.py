@@ -65,12 +65,20 @@ class Process:
     current_op_id: Optional[int] = None
     pending: Optional[PendingPrimitive] = None
     steps_in_current_op: int = 0
+    # Set by Simulation.spawn: called whenever has_work() may have
+    # changed, so the runner can maintain its runnable set incrementally
+    # instead of re-scanning every process on every step.
+    _watcher: Optional[Callable[["Process"], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def assign(self, ops) -> "Process":
         """Append operations to this process's program."""
         self._program.extend(ops)
         if self.state is ProcessState.DONE:
             self.state = ProcessState.IDLE
+        if self._watcher is not None:
+            self._watcher(self)
         return self
 
     def has_work(self) -> bool:
@@ -106,6 +114,8 @@ class Process:
             self.state = ProcessState.IDLE
         else:
             self.state = ProcessState.DONE
+        if self._watcher is not None:
+            self._watcher(self)
 
     def _crash(self) -> None:
         self.state = ProcessState.CRASHED
@@ -113,6 +123,8 @@ class Process:
             self.gen.close()
             self.gen = None
         self.pending = None
+        if self._watcher is not None:
+            self._watcher(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         op = self.current_op.name if self.current_op else None

@@ -47,6 +47,12 @@ class Simulation:
         self.history = History()
         self.processes: Dict[str, Process] = {}
         self._steps_taken = 0
+        # Incrementally maintained: pid -> process for every process with
+        # work, plus a lazily rebuilt pid-sorted view.  Membership changes
+        # only on assign / operation finish / crash (the Process watcher
+        # hook), so the per-step cost is a cache lookup, not a scan.
+        self._runnable: Dict[str, Process] = {}
+        self._runnable_sorted: Optional[List[Process]] = None
 
     # -- construction -----------------------------------------------------
 
@@ -55,6 +61,7 @@ class Simulation:
         if pid in self.processes:
             raise ValueError(f"duplicate pid {pid!r}")
         process = Process(pid=pid)
+        process._watcher = self._work_changed
         self.processes[pid] = process
         return process
 
@@ -77,12 +84,34 @@ class Simulation:
         process._crash()
         self.history.record_crash(pid, op_id)
 
+    def _work_changed(self, process: Process) -> None:
+        """Watcher hook: keep the runnable set in sync with one process."""
+        if process.has_work():
+            if process.pid not in self._runnable:
+                self._runnable[process.pid] = process
+                self._runnable_sorted = None
+        elif self._runnable.pop(process.pid, None) is not None:
+            self._runnable_sorted = None
+
+    def _runnable_view(self) -> List[Process]:
+        """The pid-sorted runnable list; owned by the simulation.
+
+        Rebuilt only when membership changed since the last step, so
+        schedulers receive an already-sorted list they must not mutate.
+        """
+        view = self._runnable_sorted
+        if view is None:
+            view = self._runnable_sorted = sorted(
+                self._runnable.values(), key=lambda p: p.pid
+            )
+        return view
+
     def runnable(self) -> List[Process]:
-        return [p for p in self.processes.values() if p.has_work()]
+        return list(self._runnable_view())
 
     def step(self) -> bool:
         """Advance one scheduler step.  Returns False when nothing runs."""
-        runnable = self.runnable()
+        runnable = self._runnable_view()
         if not runnable:
             return False
         if self._steps_taken >= self.max_steps:

@@ -26,6 +26,26 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.sim.process import Process
 
 
+def _by_pid(process: Process) -> str:
+    return process.pid
+
+
+def ordered_by_pid(runnable: List[Process]) -> List[Process]:
+    """The runnable list in pid order, without re-sorting when possible.
+
+    :meth:`repro.sim.runner.Simulation.step` hands schedules an
+    already-sorted list, so the common case is a single O(n) sortedness
+    check with no allocation; only externally built, unsorted lists pay
+    for a real sort.  The returned list must not be mutated.
+    """
+    previous = None
+    for process in runnable:
+        if previous is not None and process.pid < previous:
+            return sorted(runnable, key=_by_pid)
+        previous = process.pid
+    return runnable
+
+
 class Schedule:
     """Base class: pick the next process to step."""
 
@@ -43,7 +63,7 @@ class RoundRobinSchedule(Schedule):
         self._cursor = 0
 
     def choose(self, runnable: List[Process], step_index: int) -> Process:
-        ordered = sorted(runnable, key=lambda p: p.pid)
+        ordered = ordered_by_pid(runnable)
         process = ordered[self._cursor % len(ordered)]
         self._cursor += 1
         return process
@@ -60,7 +80,7 @@ class RandomSchedule(Schedule):
         self._rng = random.Random(seed)
 
     def choose(self, runnable: List[Process], step_index: int) -> Process:
-        return self._rng.choice(sorted(runnable, key=lambda p: p.pid))
+        return self._rng.choice(ordered_by_pid(runnable))
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
@@ -114,18 +134,25 @@ class PrioritySchedule(Schedule):
         self.default = default
         self.seed = seed
         self._rng = random.Random(seed)
+        # The longest-prefix match is recomputed at most once per pid;
+        # the weights mapping is treated as fixed after construction.
+        self._weight_cache: Dict[str, float] = {}
 
     def _weight(self, pid: str) -> float:
+        cached = self._weight_cache.get(pid)
+        if cached is not None:
+            return cached
         best_len = -1
         best = self.default
         for prefix, weight in self.weights.items():
             if pid.startswith(prefix) and len(prefix) > best_len:
                 best_len = len(prefix)
                 best = weight
+        self._weight_cache[pid] = best
         return best
 
     def choose(self, runnable: List[Process], step_index: int) -> Process:
-        ordered = sorted(runnable, key=lambda p: p.pid)
+        ordered = ordered_by_pid(runnable)
         weights = [self._weight(p.pid) for p in ordered]
         return self._rng.choices(ordered, weights=weights, k=1)[0]
 

@@ -2,6 +2,7 @@
 
 from repro.workloads.generators import (
     RegisterWorkload,
+    SnapshotWorkload,
     build_max_register_system,
     build_register_system,
     build_snapshot_system,
@@ -10,6 +11,7 @@ from repro.workloads.sweeps import Sweep, sweep
 
 __all__ = [
     "RegisterWorkload",
+    "SnapshotWorkload",
     "Sweep",
     "build_max_register_system",
     "build_register_system",

@@ -12,6 +12,8 @@ shared object and the handle/index maps the analysis tooling needs
 from __future__ import annotations
 
 import random
+
+from repro._seeding import stable_hash
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -43,7 +45,7 @@ class RegisterWorkload:
             return [
                 f"w{writer}-{k}" for k in range(self.writes_per_writer)
             ]
-        rng = random.Random((self.seed, "values", writer).__hash__())
+        rng = random.Random(stable_hash(self.seed, "values", writer))
         return [
             rng.randrange(10) for _ in range(self.writes_per_writer)
         ]
@@ -133,7 +135,7 @@ def build_max_register_system(
         max_substrate=max_substrate,
     )
     built = BuiltSystem(sim=sim, register=reg)
-    rng = random.Random((workload.seed, "maxvals").__hash__())
+    rng = random.Random(stable_hash(workload.seed, "maxvals"))
     for j in range(workload.num_readers):
         pid = f"r{j}"
         handle = reg.reader(sim.spawn(pid), j)
@@ -189,7 +191,7 @@ def build_snapshot_system(
         snapshot_substrate=snapshot_substrate,
     )
     built = BuiltSystem(sim=sim, register=snap)
-    rng = random.Random((workload.seed, "snapvals").__hash__())
+    rng = random.Random(stable_hash(workload.seed, "snapvals"))
     for i in range(workload.components):
         pid = f"u{i}"
         handle = snap.updater(sim.spawn(pid), i)

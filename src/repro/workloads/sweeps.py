@@ -1,10 +1,17 @@
-"""Parameter sweep driver used by the benchmark harness."""
+"""Parameter sweep driver used by the benchmark harness.
+
+:class:`Sweep` enumerates a parameter grid; :func:`sweep` runs a
+function over it serially.  The parallel counterpart — fanning grid
+points and seeds across worker processes with checkpointed JSONL
+output — is :class:`repro.engine.ParallelSweep`.
+"""
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from itertools import product
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
 
 
 @dataclass
@@ -20,6 +27,15 @@ class Sweep:
             for values in product(*(self.axes[n] for n in names))
         ]
 
+    def point_name(self, point: Dict[str, Any]) -> str:
+        """A stable label for one grid point: ``axis=value,...`` in axis
+        declaration order, so benchmark output rows line up across runs."""
+        return ",".join(f"{name}={point[name]}" for name in self.axes)
+
+    def named_points(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """``(label, point)`` pairs, labelled via :meth:`point_name`."""
+        return [(self.point_name(point), point) for point in self.points()]
+
     def __iter__(self):
         return iter(self.points())
 
@@ -30,9 +46,41 @@ class Sweep:
         return total
 
 
-def sweep(fn: Callable[..., Any], grid: Dict[str, Sequence[Any]]):
-    """Run ``fn`` over the grid, collecting (point, result) pairs."""
+ProgressArg = Union[
+    bool, Callable[[int, int, Dict[str, Any], Any], None], None
+]
+
+
+def _report_progress(
+    progress: ProgressArg,
+    done: int,
+    total: int,
+    point: Dict[str, Any],
+    result: Any,
+) -> None:
+    if not progress:
+        return
+    if callable(progress):
+        progress(done, total, point, result)
+        return
+    label = ",".join(f"{k}={v}" for k, v in point.items())
+    print(f"sweep [{done}/{total}] {label}", file=sys.stderr, flush=True)
+
+
+def sweep(
+    fn: Callable[..., Any],
+    grid: Dict[str, Sequence[Any]],
+    progress: ProgressArg = None,
+):
+    """Run ``fn`` over the grid, collecting (point, result) pairs.
+
+    ``progress`` may be ``True`` (log each point to stderr) or a
+    callable ``(done, total, point, result)``.
+    """
     results: List[Tuple[Dict[str, Any], Any]] = []
-    for point in Sweep(grid):
-        results.append((point, fn(**point)))
+    points = Sweep(grid).points()
+    for point in points:
+        result = fn(**point)
+        results.append((point, result))
+        _report_progress(progress, len(results), len(points), point, result)
     return results

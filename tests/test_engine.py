@@ -1,0 +1,227 @@
+"""The parallel execution engine: determinism, resume, aggregation.
+
+The engine's contract is stronger than "same results": the same task
+list must produce **byte-identical** JSONL under serial and parallel
+execution, and resuming an interrupted sweep must re-run exactly the
+tasks whose records are missing.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.engine import (
+    ExecutionTask,
+    ParallelSweep,
+    aggregate_counts,
+    all_clean,
+    derive_seed,
+    encode_record,
+    fan_out,
+    make_tasks,
+    register_sweep_task,
+    run_tasks,
+    total,
+)
+from repro.workloads.sweeps import Sweep, sweep
+
+
+def echo_task(seed, scale=1):
+    """Module-level so worker processes can unpickle it."""
+    rng = random.Random(seed)
+    return {"value": rng.randrange(1000) * scale}
+
+
+def product_point(a, b):
+    """Module-level grid function for ParallelSweep."""
+    return a * b
+
+
+# -- seed derivation -------------------------------------------------------
+
+class TestSeeds:
+    def test_stable_across_calls(self):
+        assert derive_seed(0, "task", 3) == derive_seed(0, "task", 3)
+
+    def test_golden_value(self):
+        # Locks the derivation across refactors: resumable checkpoints
+        # written by older versions must keep validating.
+        assert derive_seed(42, "task", 0) == 8613692684794000549
+
+    def test_components_independent(self):
+        seeds = fan_out(0, 50)
+        assert len(set(seeds)) == 50
+        assert all(0 <= s < 2**63 for s in seeds)
+        assert fan_out(1, 50) != seeds
+
+    def test_point_seeds_do_not_shift_when_grid_grows(self):
+        small = make_tasks([{"m": 1}], seeds_per_point=4)
+        grown = make_tasks([{"m": 1}, {"m": 2}], seeds_per_point=4)
+        assert [t.seed for t in small] == [t.seed for t in grown[:4]]
+
+
+# -- determinism -----------------------------------------------------------
+
+class TestDeterminism:
+    def test_serial_and_parallel_byte_identical(self, tmp_path):
+        tasks = make_tasks(
+            [{"num_readers": 1, "num_writers": 1}], seeds=list(range(8))
+        )
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        serial = run_tasks(
+            register_sweep_task, tasks, workers=1,
+            checkpoint=str(serial_path),
+        )
+        parallel = run_tasks(
+            register_sweep_task, tasks, workers=2,
+            checkpoint=str(parallel_path),
+        )
+        assert serial.lines() == parallel.lines()
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        assert parallel.workers == 2
+
+    def test_records_ordered_and_canonical(self, tmp_path):
+        tasks = make_tasks([{"scale": 2}], seeds=[5, 3, 9])
+        report = run_tasks(echo_task, tasks, workers=1)
+        assert [r["index"] for r in report.records] == [0, 1, 2]
+        line = encode_record(report.records[0])
+        assert json.loads(line) == report.records[0]
+        assert line == json.dumps(
+            report.records[0], sort_keys=True, separators=(",", ":")
+        )
+
+
+# -- resume-from-checkpoint ------------------------------------------------
+
+class TestResume:
+    def test_resume_skips_exactly_completed_tasks(self, tmp_path):
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        tasks = make_tasks([{"scale": 3}], seeds=list(range(10)))
+
+        executed = []
+
+        def recording_task(seed, scale=1):
+            executed.append(seed)
+            return echo_task(seed, scale)
+
+        first = run_tasks(
+            recording_task, tasks[:6], checkpoint=checkpoint
+        )
+        assert first.executed == 6 and first.skipped == 0
+        assert executed == [t.seed for t in tasks[:6]]
+
+        executed.clear()
+        second = run_tasks(recording_task, tasks, checkpoint=checkpoint)
+        assert second.executed == 4 and second.skipped == 6
+        assert executed == [t.seed for t in tasks[6:]]
+
+        # The resumed file is byte-identical to a from-scratch run.
+        fresh = str(tmp_path / "fresh.jsonl")
+        run_tasks(recording_task, tasks, checkpoint=fresh)
+        with open(checkpoint, "rb") as a, open(fresh, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_stale_and_corrupt_records_are_rerun(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        tasks = make_tasks([{"scale": 1}], seeds=[10, 11])
+        stale = ExecutionTask(1, seed=999, params=(("scale", 1),))
+        checkpoint.write_text(
+            "not json at all\n"
+            + encode_record(stale.record({"value": -1})) + "\n"
+        )
+        report = run_tasks(echo_task, tasks, checkpoint=str(checkpoint))
+        assert report.executed == 2 and report.skipped == 0
+        payloads = report.payloads()
+        assert payloads[1]["value"] != -1
+
+    def test_resume_disabled_reruns_everything(self, tmp_path):
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        tasks = make_tasks([{}], seeds=[1, 2])
+        run_tasks(echo_task, tasks, checkpoint=checkpoint)
+        report = run_tasks(
+            echo_task, tasks, checkpoint=checkpoint, resume=False
+        )
+        assert report.executed == 2 and report.skipped == 0
+
+    def test_duplicate_indices_rejected(self):
+        tasks = [ExecutionTask(0, 1), ExecutionTask(0, 2)]
+        with pytest.raises(ValueError, match="unique"):
+            run_tasks(echo_task, tasks)
+
+
+# -- progress and aggregation ----------------------------------------------
+
+class TestReporting:
+    def test_progress_callback_sees_every_record(self):
+        seen = []
+        tasks = make_tasks([{}], seeds=[4, 5, 6])
+        run_tasks(
+            echo_task, tasks,
+            progress=lambda done, total, rec: seen.append((done, total)),
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_aggregate_counts_groups_and_sums(self):
+        tasks = make_tasks(
+            [{"scale": 1}, {"scale": 2}], seeds=[0, 1, 2]
+        )
+        report = run_tasks(echo_task, tasks)
+        rows = aggregate_counts(
+            report.records, key=lambda r: r["params"]["scale"]
+        )
+        assert [row["group"] for row in rows] == [1, 2]
+        assert all(row["executions"] == 3 for row in rows)
+        assert rows[1]["value"] == 2 * rows[0]["value"]
+        assert total(report.records, "value") == (
+            rows[0]["value"] + rows[1]["value"]
+        )
+        assert all_clean(report.records, ["missing_field"])
+        assert not all_clean(report.records, ["value"])
+
+
+# -- the sweep facade ------------------------------------------------------
+
+class TestParallelSweep:
+    GRID = {"a": [2, 3], "b": [10, 20]}
+
+    def test_matches_serial_sweep(self):
+        serial = sweep(product_point, self.GRID)
+        engine = ParallelSweep(product_point, self.GRID, workers=1).run()
+        assert engine == serial
+
+    def test_matches_under_worker_pool(self):
+        engine = ParallelSweep(product_point, self.GRID, workers=2).run()
+        assert engine == sweep(product_point, self.GRID)
+
+
+class TestSweepHelpers:
+    def test_named_points_are_stable_labels(self):
+        grid = Sweep({"m": [1, 2], "w": [5]})
+        names = [name for name, _ in grid.named_points()]
+        assert names == ["m=1,w=5", "m=2,w=5"]
+        assert grid.point_name({"m": 2, "w": 5}) == "m=2,w=5"
+
+    def test_sweep_progress_callback(self):
+        seen = []
+        sweep(
+            product_point,
+            {"a": [1, 2], "b": [3]},
+            progress=lambda done, total, point, result: seen.append(
+                (done, total, result)
+            ),
+        )
+        assert seen == [(1, 2, 3), (2, 2, 6)]
+
+
+# -- experiment drivers through the engine ---------------------------------
+
+class TestDriverParity:
+    def test_e2_serial_and_parallel_agree(self):
+        from repro.harness.experiments import run_e2
+
+        serial = run_e2(seeds=range(4), workers=1)
+        parallel = run_e2(seeds=range(4), workers=2)
+        assert serial.rows == parallel.rows
+        assert serial.ok and parallel.ok

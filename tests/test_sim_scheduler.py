@@ -11,6 +11,7 @@ from repro.sim.scheduler import (
     RandomSchedule,
     ReplaySchedule,
     RoundRobinSchedule,
+    ordered_by_pid,
     schedule_from_seed,
 )
 
@@ -146,3 +147,107 @@ class TestInterposing:
 def test_schedule_from_seed():
     assert isinstance(schedule_from_seed(None), RoundRobinSchedule)
     assert isinstance(schedule_from_seed(4), RandomSchedule)
+
+
+class TestReplayStrictExhaustion:
+    def test_strict_raises_when_script_runs_out(self):
+        # Each process needs 2 scheduler steps (invocation + primitive);
+        # a 2-step script leaves work pending, so strict mode raises.
+        sim = build_two_process_sim(
+            ReplaySchedule(["a", "a"], strict=True), steps=1
+        )
+        with pytest.raises(RuntimeError, match="exhausted"):
+            sim.run()
+
+    def test_reset_rewinds_the_script(self):
+        sched = ReplaySchedule(["a", "b"], strict=True)
+        sched._cursor = 2
+        sched.reset()
+        assert sched._cursor == 0
+
+
+class TestInterposingReset:
+    def test_reset_clears_queue_and_finishing_state(self):
+        sched = InterposingSchedule(
+            victim="v", interposers=["i1", "i2"],
+            trigger=lambda p: True, burst=2,
+        )
+        sched._queue = ["i1", "i2", "i1"]
+        sched._finishing = "i2"
+        sched._interposed_for = object()
+        sched.reset()
+        assert sched._queue == []
+        assert sched._finishing is None
+        assert sched._interposed_for is None
+
+
+class TestPriorityWeightCache:
+    def test_longest_prefix_selected_among_overlapping(self):
+        sched = PrioritySchedule(
+            {"r": 2.0, "r1": 7.0, "r12": 11.0}, seed=0, default=0.5
+        )
+        assert sched._weight("r123") == 11.0
+        assert sched._weight("r19") == 7.0
+        assert sched._weight("r2") == 2.0
+        assert sched._weight("x") == 0.5
+
+    def test_weight_memoized_per_pid(self):
+        sched = PrioritySchedule({"r": 3.0}, seed=0)
+        assert sched._weight("r0") == 3.0
+        assert sched._weight_cache == {"r0": 3.0}
+        # The mapping is fixed at first use: later mutation is ignored
+        # for pids already seen (the hot path never re-scans prefixes).
+        sched.weights["r0"] = 99.0
+        assert sched._weight("r0") == 3.0
+
+    def test_same_choices_as_unmemoized_reference(self):
+        runs = []
+        for _ in range(2):
+            sim = build_two_process_sim(
+                PrioritySchedule({"a": 9.0}, seed=3), steps=10
+            )
+            sim.run()
+            runs.append(pids_of_steps(sim))
+        assert runs[0] == runs[1]
+
+
+class TestOrderedByPid:
+    def test_sorted_input_returned_unchanged(self):
+        sim = build_two_process_sim(RoundRobinSchedule())
+        runnable = sorted(sim.runnable(), key=lambda p: p.pid)
+        assert ordered_by_pid(runnable) is runnable
+
+    def test_unsorted_input_gets_sorted(self):
+        sim = build_two_process_sim(RoundRobinSchedule())
+        runnable = sorted(
+            sim.runnable(), key=lambda p: p.pid, reverse=True
+        )
+        ordered = ordered_by_pid(runnable)
+        assert ordered is not runnable
+        assert [p.pid for p in ordered] == ["a", "b"]
+
+
+class TestIncrementalRunnable:
+    def test_runnable_tracks_assign_finish_and_crash(self):
+        sim = Simulation()
+        reg = AtomicRegister("x", 0)
+        sim.spawn("a")
+        sim.spawn("b")
+        assert sim.runnable() == []
+        sim.add_program("a", [spin_op(reg, 1)])
+        sim.add_program("b", [spin_op(reg, 1)])
+        assert [p.pid for p in sim.runnable()] == ["a", "b"]
+        sim.run_process("a")
+        assert [p.pid for p in sim.runnable()] == ["b"]
+        sim.crash("b")
+        assert sim.runnable() == []
+        # Re-assigning after DONE makes the process runnable again.
+        sim.add_program("a", [spin_op(reg, 1)])
+        assert [p.pid for p in sim.runnable()] == ["a"]
+
+    def test_runnable_returns_a_private_copy(self):
+        sim = build_two_process_sim(RoundRobinSchedule())
+        view = sim.runnable()
+        view.clear()
+        assert [p.pid for p in sim.runnable()] == ["a", "b"]
+        assert sim.step()
