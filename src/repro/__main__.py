@@ -3,6 +3,7 @@
     python -m repro                     # overview
     python -m repro experiments [E...]  # run experiment drivers
     python -m repro sweep [options]     # parallel seeded sweep (engine)
+    python -m repro check [options]     # model checking (repro.mc)
     python -m repro attacks             # run the attack gallery
     python -m repro version
 
@@ -12,9 +13,16 @@ worker processes, streamed to a resumable JSONL checkpoint::
     python -m repro sweep --seeds 64 --readers 1 2 4 --writers 1 2 \\
         --workers 4 --out sweep.jsonl
 
-A quick serial sanity pass (used by CI)::
+Model-checking example -- verify every interleaving of the E13 suite,
+partial-order reduced, subtrees fanned over 4 workers with a resumable
+checkpoint::
+
+    python -m repro check --workers 4 --out mc.jsonl
+
+Quick serial sanity passes (used by CI)::
 
     python -m repro sweep --smoke
+    python -m repro check --smoke
 """
 
 from __future__ import annotations
@@ -33,11 +41,14 @@ def _overview() -> int:
     print("commands:")
     print("  python -m repro experiments [names]   run experiment drivers")
     print("  python -m repro sweep [options]       parallel seeded sweep")
+    print("  python -m repro check [options]       model checking "
+          "(all interleavings)")
     print("  python -m repro attacks               run the attack gallery")
     print("  python -m repro version               print the version")
     print()
-    print("sweep example:")
+    print("examples:")
     print("  python -m repro sweep --seeds 64 --workers 4 --out sweep.jsonl")
+    print("  python -m repro check --compare --workers 4 --out mc.jsonl")
     print()
     print("registered experiments:", " ".join(sorted(registry())))
     return 0
@@ -164,6 +175,212 @@ def _sweep(argv) -> int:
     return 0 if clean else 1
 
 
+def _check(argv) -> int:
+    """The ``check`` subcommand: model checking through ``repro.mc``."""
+    import argparse
+
+    from repro.harness.tables import render_table
+    from repro.mc import ExplorationBudgetExceeded, explore
+    from repro.mc.parallel import explore_parallel
+    from repro.mc.scenarios import E13_SUITE, get_scenario, scenario_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="Exhaustively verify named scenarios over every "
+        "interleaving (up to partial-order reduction): linearizability, "
+        "audit exactness, phase structure and pad discipline are "
+        "checked on each explored execution.  Budgets bound the "
+        "exploration; exceeding one reports the partial evidence and "
+        "exits 2.",
+    )
+    parser.add_argument(
+        "--scenario", nargs="+", default=None, metavar="NAME",
+        help="registered scenario names (default: the E13 suite; "
+        "see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios and exit",
+    )
+    parser.add_argument(
+        "--baseline", action="store_true",
+        help="disable reduction and fingerprinting (raw enumeration)",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="run both raw and reduced exploration, report the "
+        "reduction factor and verify the verdict sets coincide",
+    )
+    parser.add_argument(
+        "--no-fingerprints", action="store_true",
+        help="disable state-fingerprint memoisation (keep sleep sets)",
+    )
+    parser.add_argument(
+        "--max-executions", type=int, default=300_000, metavar="N",
+        help="execution budget per scenario (default: 300000); "
+        "exceeding it yields a PARTIAL verdict from the executions "
+        "explored so far",
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=200, metavar="D",
+        help="schedule-depth budget (default: 200)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="W",
+        help="worker processes for parallel frontier fan-out "
+        "(default: 1 = serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--frontier-depth", type=int, default=6, metavar="D",
+        help="depth at which subtrees are handed to workers "
+        "(default: 6)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="JSONL checkpoint: one canonical record per explored "
+        "subtree; rerunning with the same file resumes an interrupted "
+        "check (implies the frontier engine even with --workers 1)",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore any existing records in --out and rerun everything",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny serial reduced check of one scenario (for CI)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+
+    if args.smoke and args.scenario:
+        print(
+            "--smoke runs a fixed scenario with fixed settings and "
+            "cannot be combined with --scenario",
+            file=sys.stderr,
+        )
+        return 2
+    names = args.scenario or [key for _, key in E13_SUITE]
+    unknown = [name for name in names if name not in scenario_names()]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            "(see python -m repro check --list)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.smoke:
+        names = ["alg1-w1-r1"]
+        args.workers, args.out, args.compare = 1, None, False
+        args.baseline = False
+    reduce = not args.baseline
+    fingerprints = reduce and not args.no_fingerprints
+    use_engine = args.workers != 1 or args.out is not None
+
+    rows = []
+    failed = partial = False
+    for name in names:
+        budget_note = None
+        baseline_report = None
+        baseline_partial = False
+        if args.compare:
+            # The baseline leg gets its own budget handling so that a
+            # too-large raw enumeration still leaves the (much
+            # smaller) reduced verification to run and be reported.
+            factory, check = get_scenario(name)()
+            try:
+                baseline_report = explore(
+                    factory, check,
+                    max_executions=args.max_executions,
+                    max_depth=args.max_depth,
+                    reduce=False, fingerprints=False,
+                )
+            except ExplorationBudgetExceeded as exc:
+                baseline_report = exc.report
+                baseline_partial = True
+                partial = True
+                print(
+                    f"  budget [{name}, baseline]: {exc}; raw "
+                    f"enumeration is partial at "
+                    f"{baseline_report.executions} executions",
+                    file=sys.stderr,
+                )
+        try:
+            if use_engine:
+                out = None
+                if args.out:
+                    suffix = f".{name}" if len(names) > 1 else ""
+                    out = args.out + suffix
+                report = explore_parallel(
+                    name,
+                    workers=args.workers or None,
+                    frontier_depth=args.frontier_depth,
+                    max_executions=args.max_executions,
+                    max_depth=args.max_depth,
+                    reduce=reduce, fingerprints=fingerprints,
+                    checkpoint=out, resume=not args.no_resume,
+                )
+            else:
+                factory, check = get_scenario(name)()
+                report = explore(
+                    factory, check,
+                    max_executions=args.max_executions,
+                    max_depth=args.max_depth,
+                    reduce=reduce, fingerprints=fingerprints,
+                )
+        except ExplorationBudgetExceeded as exc:
+            report = exc.report
+            budget_note = str(exc)
+            partial = True
+        row = {
+            "scenario": name,
+            "explored": report.executions,
+            "states": report.distinct_states,
+            "violations": len(report.violations),
+        }
+        if args.compare:
+            # Keys must exist on every row (the table derives its
+            # columns from the first one), including PARTIAL rows.
+            complete = baseline_report is not None and not baseline_partial
+            row["baseline"] = (
+                f"{baseline_report.executions}"
+                + ("+" if baseline_partial else "")
+                if baseline_report is not None else "-"
+            )
+            row["reduction"] = (
+                f"{baseline_report.executions / report.executions:.1f}x"
+                if complete and report.executions else "-"
+            )
+            if complete and baseline_report.verdicts != report.verdicts:
+                failed = True
+                row["verdict"] = "MISMATCH"
+        if "verdict" not in row:
+            # A proven violation outranks an exhausted budget: partial
+            # coverage that already found a bug is a FAIL, not merely
+            # inconclusive.
+            row["verdict"] = (
+                "FAIL" if report.violations
+                else ("PARTIAL" if budget_note or baseline_partial
+                      else "PASS")
+            )
+        rows.append(row)
+        if report.violations:
+            failed = True
+            for violation in report.violations[:5]:
+                print(f"  violation [{name}]: {violation}", file=sys.stderr)
+        if budget_note:
+            print(f"  budget [{name}]: {budget_note}; partial report "
+                  f"covers {report.executions} executions",
+                  file=sys.stderr)
+    print(render_table(rows))
+    if failed:
+        return 1
+    return 2 if partial else 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
@@ -180,6 +397,8 @@ def main(argv=None) -> int:
         return experiments_main(rest)
     if command == "sweep":
         return _sweep(rest)
+    if command == "check":
+        return _check(rest)
     if command == "attacks":
         import runpy
         import pathlib

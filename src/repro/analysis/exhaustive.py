@@ -1,20 +1,21 @@
-"""Exhaustive interleaving exploration (bounded model checking).
+"""Exhaustive interleaving exploration -- legacy shim over ``repro.mc``.
 
-The seed-sweep experiments sample the execution space; for small
-scenarios we can do better and enumerate **every** interleaving the
-paper's model admits.  Theorems verified over all interleavings of a
-scenario are verified, full stop, for that scenario -- no sampling
-caveat.
+.. deprecated::
+    The exhaustive explorer grew into a full model-checking subsystem:
+    partial-order reduction, state fingerprinting, checkpoint-based
+    backtracking and parallel frontiers now live in :mod:`repro.mc`.
+    This module keeps the original API working -- ``explore`` here runs
+    the new engine with reduction and fingerprinting *disabled*, which
+    enumerates exactly the same raw interleavings (same counts, same
+    budget semantics, same violation format) as the historical
+    replay-based walk, only faster: the DFS backtracks a live
+    simulation through ``repro.sim.checkpoint`` instead of replaying
+    each prefix from ``factory()``.
 
-The explorer performs a depth-first walk of the schedule tree: a node
-is a finite pid sequence (execution prefix), its children extend it by
-one step of each runnable process.  Simulations are not snapshotable
-(algorithm generators hold control state), so each node is reached by
-replaying its prefix against a fresh system from ``factory`` -- cost
-O(nodes x depth), fine for the scenario sizes used (hundreds to tens of
-thousands of executions).
+    New code should call :func:`repro.mc.explore` directly (reduction
+    on by default) or ``python -m repro check`` from the command line.
 
-Typical use (experiment E13)::
+Typical use (experiment E13, historical form)::
 
     report = explore(factory, check)
 
@@ -25,23 +26,15 @@ violation string) for a bad complete execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
-
-class ExplorationBudgetExceeded(RuntimeError):
-    """The schedule tree is larger than the configured budget."""
-
-
-@dataclass
-class ExplorationReport:
-    executions: int = 0
-    max_depth: int = 0
-    violations: List[str] = field(default_factory=list)
-
-    @property
-    def ok(self) -> bool:
-        return not self.violations
+# Re-exported for backward compatibility: these classes are the same
+# objects the new subsystem raises/returns.
+from repro.mc.explorer import (  # noqa: F401
+    ExplorationBudgetExceeded,
+    ExplorationReport,
+)
+from repro.mc.explorer import explore as _mc_explore
 
 
 def explore(
@@ -52,52 +45,28 @@ def explore(
 ) -> ExplorationReport:
     """Run ``check`` on every maximal execution of the system.
 
-    ``factory`` must be deterministic: replaying the same pid prefix
-    must reach the same state (all the repository's systems are, given
-    fixed seeds).  ``check`` returns ``None`` for a good execution or a
-    violation description; exceptions are also recorded as violations.
+    Deprecated alias for ``repro.mc.explore(..., reduce=False,
+    fingerprints=False)``: every raw interleaving is enumerated, with
+    the historical counts and budget behaviour.
+
+    One contract difference from the replay era: ``factory`` is called
+    **once** and the simulation is backtracked in place, so mutable
+    *non-repro* context state (say, a plain dict returned next to the
+    simulation) is shared across executions instead of being rebuilt
+    per replay.  Checks should treat the context as read-only scenario
+    wiring and keep per-execution scratch state local (see
+    ``repro.mc.explore``); every in-repo check already does.
     """
-    report = ExplorationReport()
-    stack: List[Tuple[str, ...]] = [()]
-    while stack:
-        prefix = stack.pop()
-        sim, context = factory()
-        for pid in prefix:
-            sim.step_process(pid)
-        runnable = sorted(p.pid for p in sim.runnable())
-        if not runnable:
-            report.executions += 1
-            report.max_depth = max(report.max_depth, len(prefix))
-            if report.executions > max_executions:
-                raise ExplorationBudgetExceeded(
-                    f"more than {max_executions} executions; "
-                    "shrink the scenario"
-                )
-            try:
-                verdict = check(sim, context)
-            except Exception as exc:  # record, keep exploring
-                verdict = f"{type(exc).__name__}: {exc}"
-            if verdict:
-                report.violations.append(
-                    f"schedule {'/'.join(prefix)}: {verdict}"
-                )
-            continue
-        if len(prefix) >= max_depth:
-            raise ExplorationBudgetExceeded(
-                f"execution deeper than {max_depth} steps; "
-                "not wait-free or scenario too large"
-            )
-        for pid in reversed(runnable):
-            stack.append(prefix + (pid,))
-    return report
-
-
-def count_interleavings(
-    factory: Callable[[], Tuple[Any, Any]],
-    max_executions: int = 200_000,
-) -> int:
-    """Just count the maximal executions of a scenario."""
-    report = explore(
-        factory, lambda sim, ctx: None, max_executions=max_executions
+    return _mc_explore(
+        factory,
+        check,
+        max_executions=max_executions,
+        max_depth=max_depth,
+        reduce=False,
+        fingerprints=False,
     )
-    return report.executions
+
+
+# Same raw-enumeration behaviour (reduce defaults to False there), one
+# implementation: delegate instead of duplicating.
+from repro.mc.explorer import count_interleavings  # noqa: E402,F401

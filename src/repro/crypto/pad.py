@@ -28,6 +28,12 @@ class OneTimePadSequence:
     function of ``(seed, num_readers, s)`` regardless of access pattern.
     """
 
+    # Because mask(s) is a pure function of (seed, num_readers, s), the
+    # lazily extended mask cache and its RNG are memoisation, not
+    # semantic state: model-checking backtracks need not rewind them
+    # (repro.sim.checkpoint honours this exclusion).
+    _vault_exclude = ("_rng", "_masks")
+
     def __init__(self, num_readers: int, seed: int = 0) -> None:
         if num_readers < 0:
             raise ValueError("num_readers must be non-negative")

@@ -1,0 +1,51 @@
+"""``repro.mc`` -- the model-checking subsystem.
+
+Replaces the naive exhaustive walk of ``repro.analysis.exhaustive``
+with a partial-order-reduced, fingerprint-memoised, checkpoint-driven
+(and optionally parallel) explorer:
+
+- :func:`explore` -- serial exploration of an arbitrary
+  ``(factory, check)`` scenario; ``reduce=False, fingerprints=False``
+  reproduces the legacy raw enumeration exactly.
+- :func:`explore_parallel` -- frontier fan-out of a *named* scenario
+  across the ``repro.engine`` worker pool with JSONL
+  checkpoint/resume.
+- :mod:`repro.mc.scenarios` -- the named scenario catalogue (the E13
+  suite lives here).
+- :mod:`repro.mc.independence` -- the soundness core: which steps
+  commute, and why the repository's oracles cannot tell.
+
+See DESIGN.md section 5 for the soundness argument and the
+parallel-frontier protocol.
+"""
+
+from repro.mc.explorer import (
+    ExplorationBudgetExceeded,
+    ExplorationReport,
+    count_interleavings,
+    explore,
+)
+from repro.mc.independence import StepInfo, independent
+
+
+def __getattr__(name):
+    # Lazy: repro.mc.parallel pulls in repro.engine, whose task module
+    # imports repro.analysis -- which itself re-exports this package's
+    # explorer through the analysis.exhaustive shim.  Deferring the
+    # import keeps that chain acyclic.
+    if name == "explore_parallel":
+        from repro.mc.parallel import explore_parallel
+
+        return explore_parallel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ExplorationBudgetExceeded",
+    "ExplorationReport",
+    "StepInfo",
+    "count_interleavings",
+    "explore",
+    "explore_parallel",
+    "independent",
+]

@@ -18,6 +18,13 @@ class RegisterArray:
     """Lazy unbounded array of atomic registers, all initially
     ``default``."""
 
+    # The cell cache is pure materialisation, not semantic state: a
+    # materialised default cell is indistinguishable from an
+    # unmaterialised one.  Excluding it keeps cell identity stable
+    # across model-checking backtracks (repro.sim.checkpoint); the
+    # cells' own values are tracked individually.
+    _vault_exclude = ("_cells",)
+
     def __init__(self, name: str, default: Any = BOTTOM) -> None:
         self.name = name
         self.default = default
@@ -42,6 +49,9 @@ class BitMatrix:
     ``matrix[s, j]`` is the register ``B[s][j]`` recording that reader
     ``j`` read the value with sequence number ``s``.
     """
+
+    # See RegisterArray._vault_exclude.
+    _vault_exclude = ("_cells",)
 
     def __init__(self, name: str, width: int) -> None:
         self.name = name

@@ -65,6 +65,15 @@ class Process:
     current_op_id: Optional[int] = None
     pending: Optional[PendingPrimitive] = None
     steps_in_current_op: int = 0
+    # Primitive results sent into the current operation's generator, in
+    # order.  Because operations are deterministic functions of their
+    # primitive results, this log is a complete recipe for rebuilding the
+    # generator's control state: restart the generator and re-send the
+    # logged values (repro.sim.checkpoint does exactly that when a
+    # model-checking backtrack restores a mid-operation process).
+    _replay_log: List[Any] = field(
+        default_factory=list, repr=False, compare=False
+    )
     # Set by Simulation.spawn: called whenever has_work() may have
     # changed, so the runner can maintain its runnable set incrementally
     # instead of re-scanning every process on every step.
@@ -103,6 +112,7 @@ class Process:
         self.gen = op.start()
         self.state = ProcessState.RUNNING
         self.steps_in_current_op = 0
+        self._replay_log.clear()
         return op
 
     def _finish_op(self) -> None:
@@ -110,6 +120,7 @@ class Process:
         self.current_op = None
         self.current_op_id = None
         self.pending = None
+        self._replay_log.clear()
         if self._next_op < len(self._program):
             self.state = ProcessState.IDLE
         else:
@@ -123,6 +134,7 @@ class Process:
             self.gen.close()
             self.gen = None
         self.pending = None
+        self._replay_log.clear()
         if self._watcher is not None:
             self._watcher(self)
 

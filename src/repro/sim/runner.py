@@ -203,6 +203,10 @@ class Simulation:
             result,
         )
         process.steps_in_current_op += 1
+        # The replay log makes the generator's control state rebuildable
+        # (see repro.sim.checkpoint): ops are deterministic functions of
+        # the primitive results they were sent.
+        process._replay_log.append(result)
         return result
 
     def _resume(

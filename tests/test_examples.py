@@ -64,6 +64,23 @@ def test_audited_event_log(capsys):
     assert "exact" in out
 
 
+def test_model_check_register(capsys):
+    run_example("model_check_register.py")
+    out = capsys.readouterr().out
+    assert "reduction factor" in out
+    assert "verdict sets match:  True" in out
+    assert "partial report still covers" in out
+
+
+def test_cli_check_smoke(capsys):
+    from repro.__main__ import main
+
+    assert main(["check", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "alg1-w1-r1" in out
+    assert "PASS" in out
+
+
 def test_cli_overview(capsys):
     from repro.__main__ import main
 
