@@ -1,0 +1,116 @@
+"""B9 -- thread-runtime throughput: real-hardware numbers at last.
+
+Until the runtime abstraction layer, every number in the perf
+trajectory was simulator steps/second.  This benchmark runs Algorithm 1
+on the thread runtime (``repro.rt``) across a thread-count ladder and
+records genuine ops/sec and latency percentiles, next to the
+single-threaded simulator rate on an equivalent workload for context.
+
+Results land in ``BENCH_rt.json`` at the repository root (canonical
+JSON, no wall-clock-independent fields stripped -- this file *is* the
+timing record) and in the pytest-benchmark ``extra_info``.
+
+Every bounded run's history is post-validated: a throughput number from
+an execution that fails linearizability or audit exactness would be
+meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.rt import run_stress
+from repro.workloads.generators import RegisterWorkload, build_register_system
+
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_rt.json"
+OPS_PER_THREAD = 50
+THREAD_LADDER = (1, 2, 4, 8)
+
+
+def _sim_baseline_ops_per_sec() -> float:
+    """The simulator's rate on a comparable register workload."""
+    workload = RegisterWorkload(
+        num_readers=4, num_writers=3, num_auditors=1,
+        reads_per_reader=OPS_PER_THREAD, writes_per_writer=OPS_PER_THREAD,
+        audits_per_auditor=OPS_PER_THREAD, seed=0,
+    )
+    built = build_register_system(workload)
+    start = time.perf_counter()
+    history = built.run()
+    elapsed = time.perf_counter() - start
+    return len(history.complete_operations()) / elapsed if elapsed else 0.0
+
+
+def test_bench_thread_throughput(benchmark):
+    """Thread-count ladder on Algorithm 1; writes BENCH_rt.json."""
+    ladder = {}
+    for threads in THREAD_LADDER:
+        if threads == max(THREAD_LADDER):
+            report = benchmark.pedantic(
+                lambda: run_stress(
+                    "register", threads=threads, ops=OPS_PER_THREAD, seed=0
+                ),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            report = run_stress(
+                "register", threads=threads, ops=OPS_PER_THREAD, seed=0
+            )
+        assert report.validated and report.ok, (
+            f"stress history failed validation at {threads} threads"
+        )
+        ladder[str(threads)] = report.to_payload()
+        benchmark.extra_info[f"ops_per_sec_{threads}t"] = round(
+            report.ops_per_sec, 1
+        )
+
+    sustained = run_stress(
+        "register", threads=8, ops=None, duration=0.5
+    )
+    sim_rate = _sim_baseline_ops_per_sec()
+
+    payload = {
+        "bench": "b9_thread_throughput",
+        "object": "register",
+        "ops_per_thread": OPS_PER_THREAD,
+        "thread_scaling": ladder,
+        "sustained_8t_unvalidated": sustained.to_payload(),
+        "sim_baseline_ops_per_sec": round(sim_rate, 1),
+    }
+    OUT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    benchmark.extra_info["sim_baseline_ops_per_sec"] = round(sim_rate, 1)
+    benchmark.extra_info["out"] = str(OUT_PATH)
+    assert OUT_PATH.exists()
+
+
+def test_bench_max_and_snapshot_spot_checks(benchmark):
+    """One validated spot measurement each for Algorithms 2 and 3."""
+    reports = {}
+
+    def spot():
+        for obj in ("max", "snapshot"):
+            reports[obj] = run_stress(obj, threads=6, ops=25, seed=0)
+        return reports
+
+    benchmark.pedantic(spot, rounds=1, iterations=1)
+    for obj, report in reports.items():
+        assert report.validated and report.ok, f"{obj} failed validation"
+        benchmark.extra_info[f"{obj}_ops_per_sec"] = round(
+            report.ops_per_sec, 1
+        )
+    # Fold the spot checks into BENCH_rt.json when B9 already wrote it.
+    if OUT_PATH.exists():
+        payload = json.loads(OUT_PATH.read_text())
+        payload["spot_checks"] = {
+            obj: report.to_payload() for obj, report in reports.items()
+        }
+        OUT_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

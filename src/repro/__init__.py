@@ -55,6 +55,14 @@ from repro.engine import (
     run_tasks,
 )
 from repro.memory import BOTTOM
+from repro.rt import (
+    Runtime,
+    SimRuntime,
+    StressReport,
+    ThreadRuntime,
+    make_runtime,
+    run_stress,
+)
 from repro.sim import (
     History,
     Op,
@@ -89,15 +97,21 @@ __all__ = [
     "RandomSchedule",
     "ReplaySchedule",
     "RoundRobinSchedule",
+    "Runtime",
     "Schedule",
+    "SimRuntime",
     "Simulation",
+    "StressReport",
+    "ThreadRuntime",
     "TypeSpec",
     "counter_spec",
     "derive_seed",
     "journal_spec",
     "kv_store_spec",
     "logical_clock_spec",
+    "make_runtime",
     "make_tasks",
+    "run_stress",
     "run_tasks",
     "__version__",
 ]

@@ -4,8 +4,12 @@
     python -m repro experiments [E...]  # run experiment drivers
     python -m repro sweep [options]     # parallel seeded sweep (engine)
     python -m repro check [options]     # model checking (repro.mc)
+    python -m repro stress [options]    # threaded stress/throughput (repro.rt)
     python -m repro attacks             # run the attack gallery
-    python -m repro version
+    python -m repro version             # also: --version
+
+(The ``repro`` console script, installed via pyproject, is the same
+entry point.)
 
 Sweep example -- 64 derived seeds per grid point, fanned out over 4
 worker processes, streamed to a resumable JSONL checkpoint::
@@ -19,10 +23,16 @@ checkpoint::
 
     python -m repro check --workers 4 --out mc.jsonl
 
+Stress example -- Algorithm 1 on 8 real threads, post-validated by the
+linearizability checker::
+
+    python -m repro stress --object register --threads 8
+
 Quick serial sanity passes (used by CI)::
 
     python -m repro sweep --smoke
     python -m repro check --smoke
+    python -m repro stress --smoke
 """
 
 from __future__ import annotations
@@ -43,15 +53,45 @@ def _overview() -> int:
     print("  python -m repro sweep [options]       parallel seeded sweep")
     print("  python -m repro check [options]       model checking "
           "(all interleavings)")
+    print("  python -m repro stress [options]      threaded stress / "
+          "throughput")
     print("  python -m repro attacks               run the attack gallery")
     print("  python -m repro version               print the version")
     print()
     print("examples:")
     print("  python -m repro sweep --seeds 64 --workers 4 --out sweep.jsonl")
     print("  python -m repro check --compare --workers 4 --out mc.jsonl")
+    print("  python -m repro stress --object register --threads 8")
     print()
     print("registered experiments:", " ".join(sorted(registry())))
     return 0
+
+
+def _add_engine_options(
+    parser,
+    *,
+    workers_default=0,
+    workers_help="worker processes (default: one per CPU; 1 = serial)",
+    out_help="JSONL checkpoint: one canonical record per execution; "
+    "rerunning with the same file resumes an interrupted run",
+    include_workers=True,
+    include_resume=True,
+):
+    """The ``--workers``/``--out`` wiring shared by engine-backed
+    subcommands (``sweep``, ``check``, ``stress``)."""
+    if include_workers:
+        parser.add_argument(
+            "--workers", type=int, default=workers_default, metavar="W",
+            help=workers_help,
+        )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE", help=out_help,
+    )
+    if include_resume:
+        parser.add_argument(
+            "--no-resume", action="store_true",
+            help="ignore any existing records in --out and rerun everything",
+        )
 
 
 def _sweep(argv) -> int:
@@ -98,18 +138,10 @@ def _sweep(argv) -> int:
         "--writers", type=int, nargs="+", default=[1, 2],
         help="writer counts for the register grid (default: 1 2)",
     )
-    parser.add_argument(
-        "--workers", type=int, default=0, metavar="W",
-        help="worker processes (default: one per CPU; 1 = serial)",
-    )
-    parser.add_argument(
-        "--out", default=None, metavar="FILE",
-        help="JSONL checkpoint: one canonical record per execution; "
+    _add_engine_options(
+        parser,
+        out_help="JSONL checkpoint: one canonical record per execution; "
         "rerunning with the same file resumes an interrupted sweep",
-    )
-    parser.add_argument(
-        "--no-resume", action="store_true",
-        help="ignore any existing records in --out and rerun everything",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -225,25 +257,19 @@ def _check(argv) -> int:
         "--max-depth", type=int, default=200, metavar="D",
         help="schedule-depth budget (default: 200)",
     )
-    parser.add_argument(
-        "--workers", type=int, default=1, metavar="W",
-        help="worker processes for parallel frontier fan-out "
+    _add_engine_options(
+        parser,
+        workers_default=1,
+        workers_help="worker processes for parallel frontier fan-out "
         "(default: 1 = serial; 0 = one per CPU)",
+        out_help="JSONL checkpoint: one canonical record per explored "
+        "subtree; rerunning with the same file resumes an interrupted "
+        "check (implies the frontier engine even with --workers 1)",
     )
     parser.add_argument(
         "--frontier-depth", type=int, default=6, metavar="D",
         help="depth at which subtrees are handed to workers "
         "(default: 6)",
-    )
-    parser.add_argument(
-        "--out", default=None, metavar="FILE",
-        help="JSONL checkpoint: one canonical record per explored "
-        "subtree; rerunning with the same file resumes an interrupted "
-        "check (implies the frontier engine even with --workers 1)",
-    )
-    parser.add_argument(
-        "--no-resume", action="store_true",
-        help="ignore any existing records in --out and rerun everything",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -381,12 +407,109 @@ def _check(argv) -> int:
     return 2 if partial else 0
 
 
+def _stress(argv) -> int:
+    """The ``stress`` subcommand: real threads through ``repro.rt``."""
+    import argparse
+
+    from repro.rt import STRESS_OBJECTS, run_stress
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stress",
+        description="Run writer/reader/auditor threads against an "
+        "auditable object on the thread runtime, for an op-count budget "
+        "and/or a wall-clock duration.  Reports ops/sec and latency "
+        "percentiles; for bounded budgets the recorded history is "
+        "post-validated by the linearizability checker (and, where the "
+        "syntactic oracle applies, audit exactness).",
+    )
+    parser.add_argument(
+        "--object", choices=STRESS_OBJECTS, default="register",
+        help="which object to stress (default: register)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=8, metavar="N",
+        help="total thread budget, split readers/writers/auditors "
+        "(default: 8); --readers/--writers/--auditors override",
+    )
+    parser.add_argument("--readers", type=int, default=None, metavar="N")
+    parser.add_argument("--writers", type=int, default=None, metavar="N")
+    parser.add_argument("--auditors", type=int, default=None, metavar="N")
+    parser.add_argument(
+        "--ops", type=int, default=None, metavar="N",
+        help="operations per thread (default: 25; unbounded with "
+        "--duration)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; threads stop starting new operations "
+        "at the deadline",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for write values, pads and nonces (default: 0); "
+        "interleavings still come from the OS scheduler",
+    )
+    parser.add_argument(
+        "--validate", dest="validate", action="store_true", default=None,
+        help="force history post-validation (default: on for op "
+        "budgets, off for duration-only runs)",
+    )
+    parser.add_argument(
+        "--no-validate", dest="validate", action="store_false",
+        help="skip history post-validation",
+    )
+    _add_engine_options(
+        parser,
+        include_workers=False,
+        include_resume=False,
+        out_help="append one canonical JSONL record of the run's "
+        "metrics and verdicts to FILE",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed run (register, 4 threads, 8 ops/thread, "
+        "validated) for CI",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.object, args.threads, args.ops = "register", 4, 8
+        args.duration, args.seed, args.validate = None, 0, True
+        args.readers = args.writers = args.auditors = None
+    if args.ops is None and args.duration is None:
+        args.ops = 25
+
+    try:
+        report = run_stress(
+            args.object,
+            threads=args.threads,
+            readers=args.readers,
+            writers=args.writers,
+            auditors=args.auditors,
+            ops=args.ops,
+            duration=args.duration,
+            seed=args.seed,
+            validate=args.validate,
+        )
+    except ValueError as exc:
+        print(f"stress: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.out:
+        from repro.engine.engine import encode_record
+
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write(encode_record(report.to_payload()) + "\n")
+        print(f"  record appended: {args.out}")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
         return _overview()
     command, *rest = argv
-    if command == "version":
+    if command in ("version", "--version"):
         from repro import __version__
 
         print(__version__)
@@ -399,6 +522,8 @@ def main(argv=None) -> int:
         return _sweep(rest)
     if command == "check":
         return _check(rest)
+    if command == "stress":
+        return _stress(rest)
     if command == "attacks":
         import runpy
         import pathlib

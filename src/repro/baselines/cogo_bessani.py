@@ -45,7 +45,7 @@ from repro._seeding import stable_hash
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.memory.base import BaseObject
-from repro.sim.process import Op, Process
+from repro.sim.process import Op, ProcessRef
 
 # A Mersenne prime comfortably above any value the experiments write.
 _PRIME = (1 << 61) - 1
@@ -182,18 +182,18 @@ class CogoBessaniRegister:
             self.servers, key=lambda s: (not s.byzantine, s.name)
         )
 
-    def reader(self, process: Process) -> "CBReader":
+    def reader(self, process: ProcessRef) -> "CBReader":
         return CBReader(self, process)
 
-    def writer(self, process: Process) -> "CBWriter":
+    def writer(self, process: ProcessRef) -> "CBWriter":
         return CBWriter(self, process)
 
-    def auditor(self, process: Process) -> "CBAuditor":
+    def auditor(self, process: ProcessRef) -> "CBAuditor":
         return CBAuditor(self, process)
 
 
 class CBWriter:
-    def __init__(self, register: CogoBessaniRegister, process: Process):
+    def __init__(self, register: CogoBessaniRegister, process: ProcessRef):
         self.register = register
         self.process = process
         self._ts = 0
@@ -213,7 +213,7 @@ class CBWriter:
 
 
 class CBReader:
-    def __init__(self, register: CogoBessaniRegister, process: Process):
+    def __init__(self, register: CogoBessaniRegister, process: ProcessRef):
         self.register = register
         self.process = process
 
@@ -256,7 +256,7 @@ class CBReader:
 
 
 class CBAuditor:
-    def __init__(self, register: CogoBessaniRegister, process: Process):
+    def __init__(self, register: CogoBessaniRegister, process: ProcessRef):
         self.register = register
         self.process = process
 

@@ -28,7 +28,7 @@ from typing import Any, FrozenSet, Optional, Set, Tuple
 from repro.memory.array import BitMatrix, RegisterArray
 from repro.memory.base import BOTTOM
 from repro.memory.register import CasRegister
-from repro.sim.process import Op, Process
+from repro.sim.process import Op, ProcessRef
 
 
 class _Word:
@@ -74,19 +74,19 @@ class NaiveAuditableRegister:
         self.V = RegisterArray(f"{name}.V", default=BOTTOM)
         self.B = BitMatrix(f"{name}.B", width=num_readers)
 
-    def reader(self, process: Process, index: int) -> "NaiveReader":
+    def reader(self, process: ProcessRef, index: int) -> "NaiveReader":
         return NaiveReader(self, process, index)
 
-    def writer(self, process: Process) -> "NaiveWriter":
+    def writer(self, process: ProcessRef) -> "NaiveWriter":
         return NaiveWriter(self, process)
 
-    def auditor(self, process: Process) -> "NaiveAuditor":
+    def auditor(self, process: ProcessRef) -> "NaiveAuditor":
         return NaiveAuditor(self, process)
 
 
 class NaiveReader:
     def __init__(
-        self, register: NaiveAuditableRegister, process: Process, index: int
+        self, register: NaiveAuditableRegister, process: ProcessRef, index: int
     ) -> None:
         self.register = register
         self.process = process
@@ -116,7 +116,7 @@ class NaiveReader:
 
 class NaiveWriter:
     def __init__(
-        self, register: NaiveAuditableRegister, process: Process
+        self, register: NaiveAuditableRegister, process: ProcessRef
     ) -> None:
         self.register = register
         self.process = process
@@ -144,7 +144,7 @@ class NaiveWriter:
 
 class NaiveAuditor:
     def __init__(
-        self, register: NaiveAuditableRegister, process: Process
+        self, register: NaiveAuditableRegister, process: ProcessRef
     ) -> None:
         self.register = register
         self.process = process

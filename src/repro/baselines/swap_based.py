@@ -28,7 +28,7 @@ from typing import Any, Optional, Set, Tuple
 
 from repro.memory.base import BOTTOM
 from repro.memory.register import AtomicRegister, SwapRegister
-from repro.sim.process import Op, Process
+from repro.sim.process import Op, ProcessRef
 
 
 class SwapBasedAuditableRegister:
@@ -51,19 +51,19 @@ class SwapBasedAuditableRegister:
         # single writer (no concurrency on it).
         self.archive = AtomicRegister(f"{name}.archive", ((0, initial),))
 
-    def reader(self, process: Process, index: int) -> "SwapReader":
+    def reader(self, process: ProcessRef, index: int) -> "SwapReader":
         return SwapReader(self, process, index)
 
-    def writer(self, process: Process) -> "SwapWriter":
+    def writer(self, process: ProcessRef) -> "SwapWriter":
         return SwapWriter(self, process)
 
-    def auditor(self, process: Process) -> "SwapAuditor":
+    def auditor(self, process: ProcessRef) -> "SwapAuditor":
         return SwapAuditor(self, process)
 
 
 class SwapReader:
     def __init__(
-        self, register: SwapBasedAuditableRegister, process: Process, index: int
+        self, register: SwapBasedAuditableRegister, process: ProcessRef, index: int
     ) -> None:
         self.register = register
         self.process = process
@@ -87,7 +87,7 @@ class SwapReader:
 
 class SwapWriter:
     def __init__(
-        self, register: SwapBasedAuditableRegister, process: Process
+        self, register: SwapBasedAuditableRegister, process: ProcessRef
     ) -> None:
         self.register = register
         self.process = process
@@ -108,7 +108,7 @@ class SwapAuditor:
     """Reports (j, value-at-announced-seq) for every announce."""
 
     def __init__(
-        self, register: SwapBasedAuditableRegister, process: Process
+        self, register: SwapBasedAuditableRegister, process: ProcessRef
     ) -> None:
         self.register = register
         self.process = process

@@ -35,7 +35,7 @@ from repro.core.types import Nonced
 from repro.crypto.nonce import NonceSource
 from repro.crypto.pad import OneTimePadSequence
 from repro.memory.rword import RWord
-from repro.sim.process import Op, Process
+from repro.sim.process import Op, ProcessRef
 from repro.substrates.max_register import make_max_register
 
 
@@ -72,7 +72,7 @@ class AuditableMaxRegister(AuditableRegister):
             return val.value
         return val
 
-    def writer(self, process: Process) -> "MaxRegisterWriter":
+    def writer(self, process: ProcessRef) -> "MaxRegisterWriter":
         return MaxRegisterWriter(self, process)
 
     # reader()/auditor() inherited: Algorithm 2 line 21 ("same as Alg 1").

@@ -39,7 +39,7 @@ from repro.memory.base import BOTTOM
 from repro.memory.main_register import MainRegister
 from repro.memory.register import CasRegister
 from repro.memory.rword import RWord
-from repro.sim.process import Op, Process
+from repro.sim.process import Op, ProcessRef
 
 
 class AuditableRegister:
@@ -80,7 +80,7 @@ class AuditableRegister:
 
     # -- handle factories --------------------------------------------------
 
-    def reader(self, process: Process, index: int) -> "RegisterReader":
+    def reader(self, process: ProcessRef, index: int) -> "RegisterReader":
         """Handle for reader ``p_index`` (0 <= index < m)."""
         if not 0 <= index < self.num_readers:
             raise IndexError(
@@ -91,10 +91,10 @@ class AuditableRegister:
         self._reader_indices.add(index)
         return RegisterReader(self, process, index)
 
-    def writer(self, process: Process) -> "RegisterWriter":
+    def writer(self, process: ProcessRef) -> "RegisterWriter":
         return RegisterWriter(self, process)
 
-    def auditor(self, process: Process) -> "RegisterAuditor":
+    def auditor(self, process: ProcessRef) -> "RegisterAuditor":
         return RegisterAuditor(self, process)
 
     # -- hooks overridden by the max-register extension ---------------------
@@ -110,7 +110,7 @@ class AuditableRegister:
 class _Handle:
     """Base for per-process handles: binds shared state to a process."""
 
-    def __init__(self, register: AuditableRegister, process: Process) -> None:
+    def __init__(self, register: AuditableRegister, process: ProcessRef) -> None:
         self.register = register
         self.process = process
         self.pid = process.pid
@@ -124,7 +124,7 @@ class RegisterReader(_Handle):
     """Reader ``p_j``: local state ``prev_val``, ``prev_sn``."""
 
     def __init__(
-        self, register: AuditableRegister, process: Process, index: int
+        self, register: AuditableRegister, process: ProcessRef, index: int
     ) -> None:
         super().__init__(register, process)
         self.index = index
@@ -192,7 +192,7 @@ class RegisterAuditor(_Handle):
     """
 
     def __init__(
-        self, register: AuditableRegister, process: Process
+        self, register: AuditableRegister, process: ProcessRef
     ) -> None:
         super().__init__(register, process)
         self.audit_set: Set[Tuple[int, Any]] = set()

@@ -23,7 +23,7 @@ from repro.core.auditable_max_register import AuditableMaxRegister
 from repro.crypto.nonce import NonceSource
 from repro.crypto.pad import OneTimePadSequence
 from repro.memory.base import BOTTOM
-from repro.sim.process import Op, Process
+from repro.sim.process import Op, ProcessRef
 from repro.substrates.snapshot import make_snapshot
 
 
@@ -61,15 +61,15 @@ class AuditableSnapshot:
             snapshot_substrate, f"{name}.S", components, (0, initial)
         )
 
-    def updater(self, process: Process, index: int) -> "SnapshotUpdater":
+    def updater(self, process: ProcessRef, index: int) -> "SnapshotUpdater":
         if not 0 <= index < self.components:
             raise IndexError(f"component {index} out of range")
         return SnapshotUpdater(self, process, index)
 
-    def scanner(self, process: Process, index: int) -> "SnapshotScanner":
+    def scanner(self, process: ProcessRef, index: int) -> "SnapshotScanner":
         return SnapshotScanner(self, process, index)
 
-    def auditor(self, process: Process) -> "SnapshotAuditor":
+    def auditor(self, process: ProcessRef) -> "SnapshotAuditor":
         return SnapshotAuditor(self, process)
 
 
@@ -77,7 +77,7 @@ class SnapshotUpdater:
     """Writer ``p_i`` of component ``i`` (Algorithm 3, lines 1-5)."""
 
     def __init__(
-        self, snapshot: AuditableSnapshot, process: Process, index: int
+        self, snapshot: AuditableSnapshot, process: ProcessRef, index: int
     ) -> None:
         self.snapshot = snapshot
         self.process = process
@@ -103,7 +103,7 @@ class SnapshotScanner:
     """Scanner ``p_j`` (Algorithm 3, lines 6-7): a single read of ``M``."""
 
     def __init__(
-        self, snapshot: AuditableSnapshot, process: Process, index: int
+        self, snapshot: AuditableSnapshot, process: ProcessRef, index: int
     ) -> None:
         self.snapshot = snapshot
         self.process = process
@@ -145,7 +145,7 @@ class SnapshotScanner:
 class SnapshotAuditor:
     """Auditor (Algorithm 3, lines 8-10): a single audit of ``M``."""
 
-    def __init__(self, snapshot: AuditableSnapshot, process: Process) -> None:
+    def __init__(self, snapshot: AuditableSnapshot, process: ProcessRef) -> None:
         self.snapshot = snapshot
         self.process = process
         self._auditor = snapshot.M.auditor(process)

@@ -32,7 +32,7 @@ from repro.core.auditable_max_register import AuditableMaxRegister
 from repro.crypto.nonce import NonceSource
 from repro.crypto.pad import OneTimePadSequence
 from repro.memory.base import BaseObject
-from repro.sim.process import Op, Process
+from repro.sim.process import Op, ProcessRef
 
 
 @dataclass(frozen=True)
@@ -174,18 +174,18 @@ class AuditableVersioned:
             name=f"{self.name}.M",
         )
 
-    def updater(self, process: Process) -> "VersionedUpdater":
+    def updater(self, process: ProcessRef) -> "VersionedUpdater":
         return VersionedUpdater(self, process)
 
-    def reader(self, process: Process, index: int) -> "VersionedReader":
+    def reader(self, process: ProcessRef, index: int) -> "VersionedReader":
         return VersionedReader(self, process, index)
 
-    def auditor(self, process: Process) -> "VersionedAuditor":
+    def auditor(self, process: ProcessRef) -> "VersionedAuditor":
         return VersionedAuditor(self, process)
 
 
 class VersionedUpdater:
-    def __init__(self, obj: AuditableVersioned, process: Process) -> None:
+    def __init__(self, obj: AuditableVersioned, process: ProcessRef) -> None:
         self.obj = obj
         self.process = process
         self._writer = obj.M.writer(process)
@@ -202,7 +202,7 @@ class VersionedUpdater:
 
 class VersionedReader:
     def __init__(
-        self, obj: AuditableVersioned, process: Process, index: int
+        self, obj: AuditableVersioned, process: ProcessRef, index: int
     ) -> None:
         self.obj = obj
         self.process = process
@@ -218,7 +218,7 @@ class VersionedReader:
 
 
 class VersionedAuditor:
-    def __init__(self, obj: AuditableVersioned, process: Process) -> None:
+    def __init__(self, obj: AuditableVersioned, process: ProcessRef) -> None:
         self.obj = obj
         self.process = process
         self._auditor = obj.M.auditor(process)

@@ -10,6 +10,7 @@ of Section 4 relies on.
 from __future__ import annotations
 
 import random
+import threading
 
 from repro._seeding import stable_hash
 
@@ -20,7 +21,18 @@ class NonceSource:
     ``bits`` controls the nonce width; with the default 62 bits the
     collision probability over any realistic execution is negligible,
     matching the paper's "fresh random nonce" assumption.
+
+    Nonce draws happen in *local* computation, so under the thread
+    runtime (:mod:`repro.rt`) concurrent writers draw from one shared
+    source; ``fresh`` serializes the draw under a per-source lock so no
+    nonce is ever duplicated or dropped.  Under the single-threaded
+    simulator the lock is uncontended and draw order — hence seeded
+    replay — is unchanged.
     """
+
+    # The lock is runtime plumbing, not semantic state: it must not be
+    # deep-copied into model-checking snapshots (repro.sim.checkpoint).
+    _vault_exclude = ("_lock",)
 
     def __init__(self, seed: int = 0, bits: int = 62) -> None:
         if bits <= 0:
@@ -29,8 +41,14 @@ class NonceSource:
         self.bits = bits
         self._rng = random.Random(stable_hash("nonce-source", seed))
         self._issued = 0
+        self._lock = threading.Lock()
 
     def fresh(self) -> int:
+        with self._lock:
+            return self._fresh_locked()
+
+    def _fresh_locked(self) -> int:
+        """The actual draw; subclasses override this, not ``fresh``."""
         self._issued += 1
         return self._rng.getrandbits(self.bits)
 
@@ -47,7 +65,7 @@ class SequentialNonceSource(NonceSource):
     that randomness -- not mere tie-breaking -- is what the defence needs.
     """
 
-    def fresh(self) -> int:
+    def _fresh_locked(self) -> int:
         self._issued += 1
         return self._issued
 
@@ -65,11 +83,11 @@ class PresetNonceSource(NonceSource):
         super().__init__(seed=seed, bits=bits)
         self._preset = list(preset)
 
-    def fresh(self) -> int:
+    def _fresh_locked(self) -> int:
         if self._preset:
             self._issued += 1
             return self._preset.pop(0)
-        return super().fresh()
+        return super()._fresh_locked()
 
 
 class ZeroNonceSource(NonceSource):
@@ -80,6 +98,6 @@ class ZeroNonceSource(NonceSource):
     restores the arithmetic structure the gap-inference attack exploits.
     """
 
-    def fresh(self) -> int:
+    def _fresh_locked(self) -> int:
         self._issued += 1
         return 0

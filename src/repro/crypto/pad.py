@@ -16,6 +16,7 @@ pad seeds.
 from __future__ import annotations
 
 import random
+import threading
 
 from repro._seeding import stable_hash
 from typing import FrozenSet, Iterable, List
@@ -26,13 +27,20 @@ class OneTimePadSequence:
 
     Masks are generated strictly in order, so ``mask(s)`` is a pure
     function of ``(seed, num_readers, s)`` regardless of access pattern.
+    Pad consultations happen in *local* computation, so under the thread
+    runtime (:mod:`repro.rt`) concurrent writers and auditors extend the
+    mask cache from one shared pad; a per-pad lock serializes the
+    extension, which keeps ``mask(s)`` pure (never two different values
+    for one ``s``) without changing draw order under the single-threaded
+    simulator.
     """
 
     # Because mask(s) is a pure function of (seed, num_readers, s), the
     # lazily extended mask cache and its RNG are memoisation, not
     # semantic state: model-checking backtracks need not rewind them
-    # (repro.sim.checkpoint honours this exclusion).
-    _vault_exclude = ("_rng", "_masks")
+    # (repro.sim.checkpoint honours this exclusion).  The lock is
+    # runtime plumbing and must not be deep-copied into snapshots.
+    _vault_exclude = ("_rng", "_masks", "_lock")
 
     def __init__(self, num_readers: int, seed: int = 0) -> None:
         if num_readers < 0:
@@ -41,14 +49,19 @@ class OneTimePadSequence:
         self.seed = seed
         self._rng = random.Random(stable_hash("one-time-pad", seed, num_readers))
         self._masks: List[int] = []
+        self._lock = threading.Lock()
 
     def mask(self, s: int) -> int:
         """The pad ``rand_s`` for sequence number ``s``."""
         if s < 0:
             raise IndexError("sequence numbers are non-negative")
-        while len(self._masks) <= s:
-            self._masks.append(self._rng.getrandbits(max(self.num_readers, 1))
-                               if self.num_readers else 0)
+        if len(self._masks) <= s:
+            with self._lock:
+                while len(self._masks) <= s:
+                    self._masks.append(
+                        self._rng.getrandbits(max(self.num_readers, 1))
+                        if self.num_readers else 0
+                    )
         return self._masks[s]
 
     # -- encryption of reader sets ---------------------------------------

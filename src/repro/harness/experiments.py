@@ -121,9 +121,16 @@ def _adversarial_write(m: int) -> int:
 
 @register("E1")
 def run_e1(
-    reader_counts=(1, 2, 4, 8, 16), seeds=range(20)
+    reader_counts=(1, 2, 4, 8, 16), seeds=range(20), runtime=None
 ) -> ExperimentResult:
-    """Write loop terminates in at most m+1 iterations."""
+    """Write loop terminates in at most m+1 iterations.
+
+    ``runtime`` selects the backend for the reader-storm leg: the
+    default simulator replays seeded priority schedules; ``"thread"``
+    runs the same workloads under real concurrency (the m+1 bound is
+    schedule-independent, so it must hold there too).  The adversarial
+    leg needs single-stepping and always runs on the simulator.
+    """
     rows = []
     all_bounded = True
     for m in reader_counts:
@@ -140,6 +147,7 @@ def run_e1(
             built = build_register_system(
                 workload,
                 schedule=PrioritySchedule({"r": 20.0, "w": 1.0}, seed=seed),
+                runtime=runtime,
             )
             history = built.run()
             counts = _write_loop_iterations(history, built.register, "w0")
@@ -431,7 +439,12 @@ def run_e5(seeds=range(50), crash_seeds=range(40)) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 @register("E6")
-def run_e6(trials=200, seeds=range(40), pair_seeds=range(30)) -> ExperimentResult:
+def run_e6(
+    trials=200, seeds=range(40), pair_seeds=range(30), runtime=None
+) -> ExperimentResult:
+    """``runtime`` selects the backend for the structural-check leg
+    (audit exactness and value-sequence monotonicity hold under any
+    interleaving, including real threads)."""
     from repro.attacks.max_gap import lemma38_pair
 
     without = run_gap_attack(use_nonces=False, trials=trials)
@@ -458,7 +471,7 @@ def run_e6(trials=200, seeds=range(40), pair_seeds=range(30)) -> ExperimentResul
             num_readers=2, num_writers=2, reads_per_reader=3,
             writes_per_writer=3, seed=seed,
         )
-        built = build_max_register_system(workload)
+        built = build_max_register_system(workload, runtime=runtime)
         history = built.run()
         if (
             check_audit_exactness(history, built.register)

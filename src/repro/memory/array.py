@@ -35,8 +35,13 @@ class RegisterArray:
             raise IndexError(f"{self.name}[{index}]: negative index")
         cell = self._cells.get(index)
         if cell is None:
-            cell = AtomicRegister(f"{self.name}[{index}]", self.default)
-            self._cells[index] = cell
+            # setdefault keeps the first cell on a lost race: indexing
+            # is local computation, so under the thread runtime two
+            # processes may materialise the same index concurrently and
+            # must agree on a single register identity.
+            cell = self._cells.setdefault(
+                index, AtomicRegister(f"{self.name}[{index}]", self.default)
+            )
         return cell
 
     def materialised(self) -> Dict[int, AtomicRegister]:
@@ -69,8 +74,11 @@ class BitMatrix:
             )
         cell = self._cells.get((s, j))
         if cell is None:
-            cell = AtomicRegister(f"{self.name}[{s}][{j}]", False)
-            self._cells[(s, j)] = cell
+            # See RegisterArray.__getitem__: one identity per index,
+            # even under concurrent materialisation.
+            cell = self._cells.setdefault(
+                (s, j), AtomicRegister(f"{self.name}[{s}][{j}]", False)
+            )
         return cell
 
     def materialised(self) -> Dict[Tuple[int, int], AtomicRegister]:

@@ -56,7 +56,16 @@ class BaseObject:
         self.name = name
 
     def apply(self, primitive: str, args: Tuple[Any, ...]) -> Any:
-        """Atomically apply a primitive (called by the scheduler)."""
+        """Atomically apply a primitive (called by the runtime).
+
+        Atomicity is the caller's responsibility: apply calls on one
+        object must be serialized.  The simulator guarantees this by
+        executing one primitive per scheduler step; the thread runtime
+        (:mod:`repro.rt`) by holding a per-object lock across the
+        application *and* its history recording — object lock strictly
+        before the history lock, never two object locks at once, so the
+        lock order is acyclic by construction.
+        """
         method = getattr(self, "_apply_" + primitive, None)
         if method is None:
             raise AttributeError(

@@ -1,0 +1,36 @@
+"""Runtime abstraction: the paper's algorithms on pluggable backends.
+
+- :class:`Runtime` — the interface (spawn processes, apply primitives
+  atomically, record history); see :mod:`repro.rt.base`.
+- :class:`SimRuntime` — thin adapter over the deterministic simulator;
+  byte-identical histories (:mod:`repro.rt.sim_runtime`).
+- :class:`ThreadRuntime` — one real OS thread per process, per-object
+  locks around :meth:`~repro.memory.base.BaseObject.apply`, thread-safe
+  monotonically-indexed history (:mod:`repro.rt.thread_runtime`).
+- :func:`run_stress` — the stress/throughput harness behind
+  ``python -m repro stress`` (:mod:`repro.rt.stress`).
+"""
+
+from repro.rt.base import Runtime, make_runtime
+from repro.rt.sim_runtime import SimRuntime
+from repro.rt.stress import (
+    STRESS_OBJECTS,
+    StressReport,
+    percentile_summary,
+    run_stress,
+    split_threads,
+)
+from repro.rt.thread_runtime import ThreadProcess, ThreadRuntime
+
+__all__ = [
+    "Runtime",
+    "STRESS_OBJECTS",
+    "SimRuntime",
+    "StressReport",
+    "ThreadProcess",
+    "ThreadRuntime",
+    "make_runtime",
+    "percentile_summary",
+    "run_stress",
+    "split_threads",
+]

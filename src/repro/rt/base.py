@@ -1,0 +1,102 @@
+"""The runtime interface: the seam between algorithms and execution.
+
+Every algorithm in this repository is written against two contracts and
+nothing else:
+
+- *processes* are sequential programs of :class:`~repro.sim.process.Op`
+  operations, each a generator that suspends on every shared-memory
+  access by yielding a :class:`~repro.sim.events.PendingPrimitive`;
+- *primitives* are applied atomically through
+  :meth:`~repro.memory.base.BaseObject.apply` and recorded, in
+  application order, in a :class:`~repro.sim.history.History`.
+
+A :class:`Runtime` is anything that honours those two contracts: it
+spawns processes, drives their operation generators, applies each
+yielded primitive atomically, and records a monotonically-indexed
+history that the analysis oracles (linearizability, audit exactness,
+effectiveness) consume unchanged.  Two backends ship:
+
+- :class:`~repro.rt.sim_runtime.SimRuntime` — the deterministic
+  single-threaded simulator (:mod:`repro.sim`), byte-identical to
+  driving a :class:`~repro.sim.runner.Simulation` directly;
+- :class:`~repro.rt.thread_runtime.ThreadRuntime` — one real OS thread
+  per process, primitives serialized by per-object locks, history
+  indices allocated under a dedicated history lock.
+
+Handles (readers/writers/auditors/scanners) consume only the spawned
+process's ``pid``, so algorithm code runs unmodified on either backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Optional
+
+from repro.sim.history import History
+from repro.sim.process import Op
+
+
+class Runtime(abc.ABC):
+    """Abstract execution backend for the paper's algorithms.
+
+    ``spawn`` returns a process handle whose ``pid`` attribute is what
+    object handle factories consume; ``add_program`` queues operations;
+    ``run`` executes everything and returns the recorded history.
+    """
+
+    #: Backend discriminator ("sim" or "thread").
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def spawn(self, pid: str) -> Any:
+        """Create a process; pids must be unique."""
+
+    @abc.abstractmethod
+    def add_program(self, pid: str, ops: List[Op]) -> Any:
+        """Spawn (or extend) a process with a list of operations."""
+
+    @abc.abstractmethod
+    def run(self) -> History:
+        """Run every process to completion; return the history."""
+
+    @property
+    @abc.abstractmethod
+    def history(self) -> History:
+        """The (append-only) execution history recorded so far."""
+
+    @property
+    @abc.abstractmethod
+    def steps_taken(self) -> int:
+        """Primitives applied so far (one step = one primitive)."""
+
+
+def make_runtime(
+    kind: str = "sim",
+    *,
+    schedule: Optional[Any] = None,
+    seed: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> Runtime:
+    """Construct a runtime backend by name.
+
+    ``schedule``/``seed``/``max_steps`` configure the simulator backend
+    (``seed`` selects a :class:`~repro.sim.scheduler.RandomSchedule`
+    when no explicit schedule is given).  The thread backend takes
+    interleavings from the OS scheduler, so those options are accepted
+    but ignored for it — callers can pass one configuration to either
+    backend.
+    """
+    if kind == "sim":
+        from repro.rt.sim_runtime import SimRuntime
+        from repro.sim.runner import Simulation
+        from repro.sim.scheduler import RandomSchedule
+
+        if schedule is None and seed is not None:
+            schedule = RandomSchedule(seed)
+        kwargs = {} if max_steps is None else {"max_steps": max_steps}
+        return SimRuntime(Simulation(schedule=schedule, **kwargs))
+    if kind == "thread":
+        from repro.rt.thread_runtime import ThreadRuntime
+
+        return ThreadRuntime()
+    raise ValueError(f"unknown runtime kind {kind!r} (sim|thread)")

@@ -1,0 +1,88 @@
+"""The simulator backend of the runtime seam.
+
+A :class:`SimRuntime` is a thin adapter over
+:class:`~repro.sim.runner.Simulation`: every call delegates, so
+executions — including the recorded history — are **byte-identical** to
+driving the simulation directly.  The adapter also forwards the
+simulator-only control surface (single stepping, crashes, per-process
+runs) so experiment drivers and attacks that need fine-grained schedule
+control can accept a runtime without losing capability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.rt.base import Runtime
+from repro.sim.history import History
+from repro.sim.process import Op, Process
+from repro.sim.runner import Simulation
+from repro.sim.scheduler import Schedule
+
+
+class SimRuntime(Runtime):
+    """Runtime adapter over the deterministic simulator."""
+
+    kind = "sim"
+
+    def __init__(
+        self,
+        simulation: Optional[Simulation] = None,
+        *,
+        schedule: Optional[Schedule] = None,
+        max_steps: int = 1_000_000,
+    ) -> None:
+        if simulation is not None and schedule is not None:
+            raise ValueError(
+                "pass either an existing simulation or a schedule, not both"
+            )
+        self.simulation = simulation or Simulation(
+            schedule=schedule, max_steps=max_steps
+        )
+
+    # -- the runtime interface --------------------------------------------
+
+    def spawn(self, pid: str) -> Process:
+        return self.simulation.spawn(pid)
+
+    def add_program(self, pid: str, ops: List[Op]) -> Process:
+        return self.simulation.add_program(pid, ops)
+
+    def run(self, max_steps: Optional[int] = None) -> History:
+        return self.simulation.run(max_steps)
+
+    @property
+    def history(self) -> History:
+        return self.simulation.history
+
+    @property
+    def steps_taken(self) -> int:
+        return self.simulation.steps_taken
+
+    # -- simulator-only control surface, forwarded -------------------------
+
+    @property
+    def processes(self) -> Dict[str, Process]:
+        return self.simulation.processes
+
+    @property
+    def schedule(self) -> Schedule:
+        return self.simulation.schedule
+
+    def step(self) -> bool:
+        return self.simulation.step()
+
+    def step_process(self, pid: str) -> bool:
+        return self.simulation.step_process(pid)
+
+    def run_process(self, pid: str, ops: Optional[int] = None) -> History:
+        return self.simulation.run_process(pid, ops)
+
+    def crash(self, pid: str) -> None:
+        self.simulation.crash(pid)
+
+    def runnable(self) -> List[Process]:
+        return self.simulation.runnable()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimRuntime({self.simulation!r})"

@@ -1,0 +1,383 @@
+"""Stress/throughput harness: the paper's objects on real threads.
+
+``run_stress`` spins up N writer/reader/auditor threads against
+Algorithm 1 (register), Algorithm 2 (max register), Algorithm 3
+(snapshot) or the naive baseline, under an op-count budget and/or a
+wall-clock duration, and reports ops/sec plus latency percentiles.  The
+recorded history is the same :class:`~repro.sim.history.History` the
+simulator produces, so it can be post-validated by the *same* oracles:
+the Wing-Gong linearizability checker against the auditable sequential
+specs, and the syntactic audit-exactness oracle.
+
+CLI entry point: ``python -m repro stress`` (see ``__main__``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._seeding import stable_hash
+from repro.analysis.audit_checks import check_audit_exactness
+from repro.analysis.linearizability import check_history
+from repro.analysis.specs import (
+    auditable_max_register_spec,
+    auditable_register_spec,
+    snapshot_spec,
+    tag_ops_with_pid,
+    tag_reads,
+)
+from repro.baselines.naive_auditable import NaiveAuditableRegister
+from repro.core.auditable_max_register import AuditableMaxRegister
+from repro.core.auditable_register import AuditableRegister
+from repro.core.auditable_snapshot import AuditableSnapshot
+from repro.crypto.nonce import NonceSource
+from repro.crypto.pad import OneTimePadSequence
+from repro.rt.thread_runtime import ThreadRuntime
+from repro.sim.history import History
+
+STRESS_OBJECTS = ("register", "max", "snapshot", "naive")
+
+
+def split_threads(
+    threads: int,
+    readers: Optional[int] = None,
+    writers: Optional[int] = None,
+    auditors: Optional[int] = None,
+) -> Tuple[int, int, int]:
+    """Partition a thread budget into (readers, writers, auditors).
+
+    Explicit role counts win (and then ``threads`` is ignored); the
+    default split reserves one auditor once three threads are available
+    and favours readers, the paper's contended role.
+    """
+    if readers is not None or writers is not None or auditors is not None:
+        return (readers or 0, writers or 0, auditors or 0)
+    if threads < 1:
+        raise ValueError("need at least one thread")
+    a = 1 if threads >= 3 else 0
+    w = max(1, (threads - a) // 2)
+    r = max(0, threads - a - w)
+    return (r, w, a)
+
+
+def percentile_summary(samples: List[float]) -> Dict[str, float]:
+    """Nearest-rank latency percentiles, in microseconds."""
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def rank(p: float) -> float:
+        return ordered[min(n - 1, max(0, int(p * n + 0.5) - 1))]
+
+    return {
+        "p50_us": round(rank(0.50) * 1e6, 1),
+        "p90_us": round(rank(0.90) * 1e6, 1),
+        "p99_us": round(rank(0.99) * 1e6, 1),
+        "max_us": round(ordered[-1] * 1e6, 1),
+    }
+
+
+@dataclass
+class StressReport:
+    """Outcome of one threaded stress run."""
+
+    object: str
+    readers: int
+    writers: int
+    auditors: int
+    seed: int
+    ops_budget: Optional[int]
+    duration: Optional[float]
+    ops_completed: int = 0
+    primitives: int = 0
+    elapsed: float = 0.0
+    ops_per_sec: float = 0.0
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    validated: bool = False
+    lin_ok: Optional[bool] = None
+    audit_ok: Optional[bool] = None
+
+    @property
+    def threads(self) -> int:
+        return self.readers + self.writers + self.auditors
+
+    @property
+    def ok(self) -> bool:
+        """True when validation (if performed) found no violation."""
+        return self.lin_ok is not False and self.audit_ok is not False
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable record (one line of a stress JSONL log)."""
+        return {
+            "object": self.object,
+            "readers": self.readers,
+            "writers": self.writers,
+            "auditors": self.auditors,
+            "seed": self.seed,
+            "ops_budget": self.ops_budget,
+            "duration": self.duration,
+            "ops_completed": self.ops_completed,
+            "primitives": self.primitives,
+            "elapsed_s": round(self.elapsed, 4),
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "latency": self.latency,
+            "validated": self.validated,
+            "lin_ok": self.lin_ok,
+            "audit_ok": self.audit_ok,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"== stress: {self.object} on {self.threads} threads "
+            f"({self.readers} readers / {self.writers} writers / "
+            f"{self.auditors} auditors) ==",
+            f"  ops completed : {self.ops_completed} "
+            f"({self.primitives} primitives)",
+            f"  elapsed       : {self.elapsed:.3f}s",
+            f"  throughput    : {self.ops_per_sec:,.0f} ops/sec",
+        ]
+        for op_name in sorted(self.latency):
+            stats = self.latency[op_name]
+            if not stats:
+                continue
+            lines.append(
+                f"  latency {op_name:<7}: "
+                f"p50={stats['p50_us']:>8.1f}us  "
+                f"p90={stats['p90_us']:>8.1f}us  "
+                f"p99={stats['p99_us']:>8.1f}us  "
+                f"max={stats['max_us']:>8.1f}us"
+            )
+        if self.validated:
+            lin = "PASS" if self.lin_ok else "FAIL"
+            lines.append(f"  [{lin}] history linearizable")
+            if self.audit_ok is not None:
+                audit = "PASS" if self.audit_ok else "FAIL"
+                lines.append(f"  [{audit}] audit exactness")
+        else:
+            lines.append("  (history not post-validated)")
+        return "\n".join(lines)
+
+
+@dataclass
+class _StressSystem:
+    runtime: ThreadRuntime
+    register: Any
+    reader_index: Dict[str, int] = field(default_factory=dict)
+    updater_index: Dict[str, int] = field(default_factory=dict)
+    scanner_index: Dict[str, int] = field(default_factory=dict)
+    components: int = 0
+
+
+def _max_value(seed: int, writer: int, k: int) -> int:
+    return stable_hash("stress-max-value", seed, writer, k) % 1_000_000
+
+
+def _build(
+    object_kind: str,
+    r: int,
+    w: int,
+    a: int,
+    seed: int,
+    ops: Optional[int],
+    max_substrate: str,
+    snapshot_substrate: str,
+) -> _StressSystem:
+    """Construct the shared object, handles and per-thread op sources."""
+    rt = ThreadRuntime()
+    pad_width = max(1, r)
+    pad = OneTimePadSequence(pad_width, seed=stable_hash("stress-pad", seed))
+    nonces = NonceSource(seed=stable_hash("stress-nonce", seed))
+
+    if object_kind == "register":
+        reg: Any = AuditableRegister(pad_width, initial="v0", pad=pad)
+        value = lambda i, k: f"w{i}-{k}"  # noqa: E731
+    elif object_kind == "max":
+        reg = AuditableMaxRegister(
+            pad_width, initial=0, pad=pad, nonces=nonces,
+            max_substrate=max_substrate,
+        )
+        value = lambda i, k: _max_value(seed, i, k)  # noqa: E731
+    elif object_kind == "naive":
+        reg = NaiveAuditableRegister(pad_width, initial="v0")
+        value = lambda i, k: f"w{i}-{k}"  # noqa: E731
+    elif object_kind == "snapshot":
+        # run_stress guarantees w >= 1 here: updaters ARE the
+        # components, so the role counts in the report stay truthful.
+        reg = AuditableSnapshot(
+            components=w,
+            num_scanners=pad_width,
+            initial=0,
+            pad=pad,
+            nonces=nonces,
+            snapshot_substrate=snapshot_substrate,
+            max_substrate=max_substrate,
+        )
+        value = lambda i, k: _max_value(seed, i, k)  # noqa: E731
+    else:
+        raise ValueError(
+            f"unknown stress object {object_kind!r} "
+            f"(choose from {', '.join(STRESS_OBJECTS)})"
+        )
+
+    system = _StressSystem(runtime=rt, register=reg)
+
+    def op_source(make_op):
+        counter = count()
+        return lambda: make_op(next(counter))
+
+    if object_kind == "snapshot":
+        system.components = reg.components
+        for i in range(reg.components):
+            pid = f"u{i}"
+            handle = reg.updater(rt.spawn(pid), i)
+            system.updater_index[pid] = i
+            rt.add_op_source(
+                pid,
+                op_source(lambda k, h=handle, i=i: h.update_op(value(i, k))),
+                max_ops=ops,
+            )
+        for j in range(r):
+            pid = f"s{j}"
+            handle = reg.scanner(rt.spawn(pid), j)
+            system.scanner_index[pid] = j
+            rt.add_op_source(
+                pid, op_source(lambda k, h=handle: h.scan_op()), max_ops=ops
+            )
+        for idx in range(a):
+            pid = f"a{idx}"
+            handle = reg.auditor(rt.spawn(pid))
+            rt.add_op_source(
+                pid, op_source(lambda k, h=handle: h.audit_op()), max_ops=ops
+            )
+        return system
+
+    for j in range(r):
+        pid = f"r{j}"
+        handle = reg.reader(rt.spawn(pid), j)
+        system.reader_index[pid] = j
+        rt.add_op_source(
+            pid, op_source(lambda k, h=handle: h.read_op()), max_ops=ops
+        )
+    for i in range(w):
+        pid = f"w{i}"
+        handle = reg.writer(rt.spawn(pid))
+        write_op = (
+            handle.write_max_op if object_kind == "max" else handle.write_op
+        )
+        rt.add_op_source(
+            pid,
+            op_source(lambda k, wo=write_op, i=i: wo(value(i, k))),
+            max_ops=ops,
+        )
+    for idx in range(a):
+        pid = f"a{idx}"
+        handle = reg.auditor(rt.spawn(pid))
+        rt.add_op_source(
+            pid, op_source(lambda k, h=handle: h.audit_op()), max_ops=ops
+        )
+    return system
+
+
+def _validate(
+    object_kind: str, history: History, system: _StressSystem
+) -> Tuple[bool, Optional[bool]]:
+    """(linearizable?, audit-exact?) for the recorded history."""
+    if object_kind == "snapshot":
+        spec = snapshot_spec(
+            system.components, 0, system.updater_index, system.scanner_index
+        )
+        lin = check_history(
+            tag_ops_with_pid(history.operations()), spec
+        ).ok
+        from repro.engine.tasks import lifted_audit_violations
+
+        audit: Optional[bool] = (
+            lifted_audit_violations(history, system.register.M) == 0
+        )
+        return lin, audit
+    if object_kind == "max":
+        spec = auditable_max_register_spec(0, system.reader_index)
+    else:
+        spec = auditable_register_spec("v0", system.reader_index)
+    lin = check_history(tag_reads(history.operations()), spec).ok
+    if object_kind == "naive":
+        # The naive design has no fetch&xor, so the syntactic oracle
+        # does not apply; linearizability against the auditable spec is
+        # the whole check.
+        return lin, None
+    audit = not check_audit_exactness(history, system.register)
+    return lin, audit
+
+
+def run_stress(
+    object: str = "register",
+    *,
+    threads: int = 8,
+    readers: Optional[int] = None,
+    writers: Optional[int] = None,
+    auditors: Optional[int] = None,
+    ops: Optional[int] = 25,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    validate: Optional[bool] = None,
+    max_substrate: str = "atomic",
+    snapshot_substrate: str = "afek",
+) -> StressReport:
+    """One threaded stress run; see the module docstring.
+
+    ``ops`` is the per-thread operation budget (``None`` = unbounded,
+    requires ``duration``).  ``validate`` defaults to on for bounded
+    budgets and off for duration-only runs, whose histories can be far
+    too large for the exponential linearizability search.
+    """
+    if ops is None and duration is None:
+        raise ValueError("need an op budget (ops=) or a duration")
+    if validate is None:
+        validate = ops is not None
+    r, w, a = split_threads(threads, readers, writers, auditors)
+    if object == "snapshot":
+        # Updaters are the snapshot's components; there is always at
+        # least one, and the report's role counts must match the
+        # threads actually spawned.
+        w = max(1, w)
+    if r + w + a < 1:
+        raise ValueError("no threads: all role counts are zero")
+    system = _build(
+        object, r, w, a, seed, ops, max_substrate, snapshot_substrate
+    )
+    rt = system.runtime
+    history = rt.run(duration=duration)
+
+    report = StressReport(
+        object=object,
+        readers=r,
+        writers=w,
+        auditors=a,
+        seed=seed,
+        ops_budget=ops,
+        duration=duration,
+        ops_completed=len(history.complete_operations()),
+        primitives=rt.steps_taken,
+        elapsed=rt.elapsed,
+    )
+    report.ops_per_sec = (
+        report.ops_completed / rt.elapsed if rt.elapsed else 0.0
+    )
+    by_op: Dict[str, List[float]] = {}
+    for _pid, op_name, seconds in rt.latencies:
+        by_op.setdefault(op_name, []).append(seconds)
+    report.latency = {
+        name: percentile_summary(samples)
+        for name, samples in by_op.items()
+    }
+    if rt.latencies:
+        report.latency["all"] = percentile_summary(
+            [s for _, _, s in rt.latencies]
+        )
+    if validate:
+        report.validated = True
+        report.lin_ok, report.audit_ok = _validate(object, history, system)
+    return report

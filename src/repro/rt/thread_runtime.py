@@ -1,0 +1,257 @@
+"""The thread backend: one real OS thread per process.
+
+The paper's objects are wait-free and built purely from atomic
+primitives, so they run unmodified under genuine concurrency provided
+the runtime preserves the two contracts of the model:
+
+1. **Primitive atomicity.**  Every yielded
+   :class:`~repro.sim.events.PendingPrimitive` is applied through the
+   existing :meth:`~repro.memory.base.BaseObject.apply` under a
+   per-object lock, so primitives on one object are totally ordered and
+   each executes indivisibly.  Local computation between primitives runs
+   unlocked on the owning thread, exactly as in the model where local
+   steps are free.
+2. **A monotonically-indexed, order-faithful history.**  Indices are
+   allocated under a dedicated history lock.  The per-object lock is
+   held *across* both the primitive's application and its recording
+   (lock order: object lock, then history lock, never two object locks),
+   which guarantees that for any single object the index order of its
+   primitive events equals their true application order — the property
+   the audit-exactness oracle relies on (all its comparisons are between
+   events on ``R``).  Across objects, an event's index is assigned
+   between the operation's invocation recording and its response
+   recording, so recorded real-time precedence (response index below
+   invocation index) always implies true precedence: the
+   linearizability checker never sees a constraint that did not hold.
+
+Determinism is **not** preserved: interleavings come from the OS
+scheduler, so two runs of the same program may record different (both
+correct) histories.  Seeded replay remains the simulator backend's job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.rt.base import Runtime
+from repro.sim.history import History
+from repro.sim.process import Op
+from repro.sim.runner import drive_to_suspension
+
+
+class ThreadProcess:
+    """Process handle of the thread runtime.
+
+    Handle factories (``register.reader(process, j)`` etc.) consume only
+    ``pid``, so a ``ThreadProcess`` is a drop-in stand-in for the
+    simulator's :class:`~repro.sim.process.Process`.  The operation
+    source is owned by the driving thread and never shared.
+    """
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+        self.op_counter = 0
+        self._program: List[Op] = []
+        self._next_op = 0
+        self._source: Optional[Callable[[], Optional[Op]]] = None
+        self._source_budget: Optional[int] = None
+
+    def assign(self, ops: List[Op]) -> "ThreadProcess":
+        self._program.extend(ops)
+        return self
+
+    def set_source(
+        self,
+        factory: Callable[[], Optional[Op]],
+        max_ops: Optional[int] = None,
+    ) -> "ThreadProcess":
+        """Generate operations on demand (for duration-bounded runs)."""
+        self._source = factory
+        self._source_budget = max_ops
+        return self
+
+    def _take_next_op(self) -> Optional[Op]:
+        if self._next_op < len(self._program):
+            op = self._program[self._next_op]
+            self._next_op += 1
+            return op
+        if self._source is not None:
+            if self._source_budget is not None:
+                if self._source_budget <= 0:
+                    return None
+                self._source_budget -= 1
+            return self._source()
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadProcess({self.pid!r}, ops_done={self.op_counter})"
+
+
+class ThreadRuntime(Runtime):
+    """Run each process's operation generators on a real OS thread."""
+
+    kind = "thread"
+
+    def __init__(self, *, record_latency: bool = True) -> None:
+        self._history = History()
+        self._hist_lock = threading.Lock()
+        self._obj_locks: Dict[int, threading.Lock] = {}
+        self._obj_locks_guard = threading.Lock()
+        self.processes: Dict[str, ThreadProcess] = {}
+        self.record_latency = record_latency
+        #: (pid, op_name, seconds) per completed operation, merged after
+        #: the threads join; consumed by the stress harness.
+        self.latencies: List[Tuple[str, str, float]] = []
+        self.elapsed = 0.0
+        self._steps = 0
+        self._stop = threading.Event()
+        self._errors: List[Tuple[str, BaseException]] = []
+        self._err_lock = threading.Lock()
+
+    # -- the runtime interface --------------------------------------------
+
+    def spawn(self, pid: str) -> ThreadProcess:
+        if pid in self.processes:
+            raise ValueError(f"duplicate pid {pid!r}")
+        process = ThreadProcess(pid)
+        self.processes[pid] = process
+        return process
+
+    def add_program(self, pid: str, ops: List[Op]) -> ThreadProcess:
+        process = self.processes.get(pid) or self.spawn(pid)
+        return process.assign(ops)
+
+    def add_op_source(
+        self,
+        pid: str,
+        factory: Callable[[], Optional[Op]],
+        max_ops: Optional[int] = None,
+    ) -> ThreadProcess:
+        process = self.processes.get(pid) or self.spawn(pid)
+        return process.set_source(factory, max_ops)
+
+    @property
+    def history(self) -> History:
+        return self._history
+
+    @property
+    def steps_taken(self) -> int:
+        return self._steps
+
+    def run(self, duration: Optional[float] = None) -> History:
+        """Drive every process on its own thread until programs finish.
+
+        With ``duration`` (seconds) each thread also stops before
+        starting an operation once the shared deadline has passed —
+        operations in flight always complete, so the recorded history
+        contains no artificial pending operations.
+        """
+        procs = list(self.processes.values())
+        if not procs:
+            return self._history
+        self._stop.clear()
+        # All threads block on the barrier until everyone is spawned, so
+        # the measured window contains no thread start-up skew and the
+        # deadline is shared by construction.
+        barrier = threading.Barrier(len(procs) + 1)
+        threads = [
+            threading.Thread(
+                target=self._drive,
+                args=(process, barrier, duration),
+                name=f"rt-{process.pid}",
+                daemon=True,
+            )
+            for process in procs
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        self.elapsed = time.perf_counter() - started
+        if self._errors:
+            pid, first = self._errors[0]
+            raise RuntimeError(
+                f"thread runtime: process {pid!r} failed "
+                f"({len(self._errors)} error(s) total)"
+            ) from first
+        return self._history
+
+    # -- internals ---------------------------------------------------------
+
+    def _lock_for(self, obj: Any) -> threading.Lock:
+        # Plain dict reads are atomic under the GIL; only creation needs
+        # the guard (setdefault keeps the first lock on a lost race).
+        lock = self._obj_locks.get(id(obj))
+        if lock is None:
+            with self._obj_locks_guard:
+                lock = self._obj_locks.setdefault(id(obj), threading.Lock())
+        return lock
+
+    def _drive(
+        self,
+        process: ThreadProcess,
+        barrier: threading.Barrier,
+        duration: Optional[float],
+    ) -> None:
+        barrier.wait()
+        deadline = None if duration is None else time.monotonic() + duration
+        local_latencies: List[Tuple[str, str, float]] = []
+        try:
+            while not self._stop.is_set():
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                op = process._take_next_op()
+                if op is None:
+                    break
+                self._run_op(process, op, local_latencies)
+        except BaseException as exc:  # noqa: BLE001 - reported at join
+            with self._err_lock:
+                self._errors.append((process.pid, exc))
+            self._stop.set()
+        finally:
+            with self._err_lock:
+                self.latencies.extend(local_latencies)
+
+    def _run_op(
+        self,
+        process: ThreadProcess,
+        op: Op,
+        latencies: List[Tuple[str, str, float]],
+    ) -> None:
+        pid = process.pid
+        op_id = process.op_counter
+        process.op_counter += 1
+        start = time.perf_counter() if self.record_latency else 0.0
+        with self._hist_lock:
+            self._history.record_invocation(pid, op_id, op.name, op.args)
+        gen = op.start()
+        suspended, payload = drive_to_suspension(pid, gen, first=True)
+        while suspended:
+            pending = payload
+            with self._lock_for(pending.obj):
+                result = pending.obj.apply(pending.primitive, pending.args)
+                with self._hist_lock:
+                    self._history.record_primitive(
+                        pid,
+                        op_id,
+                        pending.obj.name,
+                        pending.primitive,
+                        pending.args,
+                        result,
+                    )
+                    self._steps += 1
+            suspended, payload = drive_to_suspension(pid, gen, result)
+        with self._hist_lock:
+            self._history.record_response(pid, op_id, op.name, payload)
+        if self.record_latency:
+            latencies.append((pid, op.name, time.perf_counter() - start))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ThreadRuntime(processes={len(self.processes)}, "
+            f"steps={self._steps})"
+        )

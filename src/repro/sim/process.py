@@ -15,6 +15,13 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 from repro.sim.events import PendingPrimitive
 
 
+# A runtime-agnostic process reference.  Object handles (readers,
+# writers, auditors, scanners) consume only the ``pid`` attribute, so
+# they accept the simulator's Process and repro.rt's ThreadProcess
+# alike; the alias marks that contract in handle signatures.
+ProcessRef = Any
+
+
 class ProcessState(enum.Enum):
     """Lifecycle of a simulated process."""
 

@@ -13,16 +13,51 @@ This matches the paper's step granularity (local computation is free;
 one primitive per step), while giving fine-grained control: attacks pause
 or crash processes between specific primitives, and experiments can
 single-step executions to place linearization points precisely.
+
+The generator-driving protocol itself (resume up to the next suspension,
+enforce that only :class:`PendingPrimitive` is yielded, capture the
+return value) is runtime-neutral and lives in
+:func:`drive_to_suspension`, shared with the thread-backed runtime
+(:mod:`repro.rt`): the simulator is one backend of the runtime seam, not
+the owner of the execution contract.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.sim.events import PendingPrimitive
 from repro.sim.history import History
 from repro.sim.process import Op, Process, ProcessState
 from repro.sim.scheduler import RoundRobinSchedule, Schedule
+
+
+def drive_to_suspension(
+    pid: str,
+    gen: Generator,
+    value: Any = None,
+    *,
+    first: bool = False,
+) -> Tuple[bool, Any]:
+    """Advance an operation generator to its next suspension point.
+
+    Sends ``value`` into ``gen`` (or primes it when ``first``) and
+    returns ``(True, PendingPrimitive)`` if the operation suspended on a
+    primitive, or ``(False, result)`` if it finished.  Every runtime
+    backend drives operations through here, so the
+    one-primitive-per-suspension contract is enforced identically under
+    the simulator and under real threads.
+    """
+    try:
+        yielded = next(gen) if first else gen.send(value)
+    except StopIteration as stop:
+        return False, stop.value
+    if not isinstance(yielded, PendingPrimitive):
+        raise TypeError(
+            f"{pid} yielded {yielded!r}; algorithm code must "
+            "yield PendingPrimitive (use `yield from obj.primitive()`)"
+        )
+    return True, yielded
 
 
 class StepBudgetExceeded(RuntimeError):
@@ -212,24 +247,16 @@ class Simulation:
     def _resume(
         self, process: Process, value: Any = None, first: bool = False
     ) -> None:
-        try:
-            if first:
-                yielded = next(process.gen)
-            else:
-                yielded = process.gen.send(value)
-        except StopIteration as stop:
-            result = stop.value
+        suspended, payload = drive_to_suspension(
+            process.pid, process.gen, value, first=first
+        )
+        if not suspended:
             self.history.record_response(
                 process.pid,
                 process.current_op_id,
                 process.current_op.name,
-                result,
+                payload,
             )
             process._finish_op()
             return
-        if not isinstance(yielded, PendingPrimitive):
-            raise TypeError(
-                f"{process.pid} yielded {yielded!r}; algorithm code must "
-                "yield PendingPrimitive (use `yield from obj.primitive()`)"
-            )
-        process.pending = yielded
+        process.pending = payload

@@ -32,7 +32,7 @@ from repro.core.auditable_register import AuditableRegister
 from repro.crypto.pad import OneTimePadSequence
 from repro.memory.base import BOTTOM
 from repro.memory.register import AtomicRegister
-from repro.sim.process import Op, Process
+from repro.sim.process import Op, ProcessRef
 from repro.sim.runner import Simulation
 
 
@@ -51,7 +51,7 @@ class AuditableConsensus:
         )
         self.P = AtomicRegister(f"{name}.P", BOTTOM)  # reader's proposal
 
-    def reader_propose(self, process: Process):
+    def reader_propose(self, process: ProcessRef):
         reader = self.A.reader(process, 0)
 
         def propose(value: Any):
@@ -63,7 +63,7 @@ class AuditableConsensus:
 
         return propose
 
-    def writer_propose(self, process: Process):
+    def writer_propose(self, process: ProcessRef):
         writer = self.A.writer(process)
         auditor = self.A.auditor(process)
 

@@ -4,9 +4,14 @@ Every experiment builds a system from a :class:`RegisterWorkload`
 (counts, operation mix, seed) so that executions are reproducible from
 ``(workload seed, schedule seed, pad seed)`` alone.
 
-The builders return a :class:`BuiltSystem` exposing the simulation, the
-shared object and the handle/index maps the analysis tooling needs
-(reader pid -> reader index, etc.).
+The builders return a :class:`BuiltSystem` exposing the host runtime,
+the shared object and the handle/index maps the analysis tooling needs
+(reader pid -> reader index, etc.).  ``runtime=`` selects the execution
+backend: the default (``None``) is the deterministic simulator, exactly
+as before; ``"thread"`` (or any :class:`repro.rt.Runtime` instance)
+runs the same workload under the thread runtime — reproducibility of
+*values* (write inputs, pads, nonces) is preserved, interleavings come
+from the OS.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ import random
 
 from repro._seeding import stable_hash
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.auditable_max_register import AuditableMaxRegister
 from repro.core.auditable_register import AuditableRegister
@@ -24,6 +29,25 @@ from repro.crypto.nonce import NonceSource
 from repro.crypto.pad import OneTimePadSequence
 from repro.sim.runner import Simulation
 from repro.sim.scheduler import RandomSchedule, Schedule
+
+
+def _runtime_host(
+    runtime: Union[None, str, Any], schedule: Optional[Schedule]
+) -> Any:
+    """Resolve a builder's ``runtime=`` argument to a host.
+
+    ``None`` keeps the historical direct-:class:`Simulation` path (so
+    existing experiments remain byte-identical); a string goes through
+    :func:`repro.rt.make_runtime`; anything else is assumed to already
+    be a runtime.
+    """
+    if runtime is None:
+        return Simulation(schedule=schedule)
+    if isinstance(runtime, str):
+        from repro.rt import make_runtime
+
+        return make_runtime(runtime, schedule=schedule)
+    return runtime
 
 
 @dataclass
@@ -53,7 +77,11 @@ class RegisterWorkload:
 
 @dataclass
 class BuiltSystem:
-    sim: Simulation
+    # ``sim`` is the host the programs were loaded into: a plain
+    # Simulation on the default path, or any runtime backend (every
+    # backend exposes run()/history/steps_taken; the simulator adapter
+    # additionally forwards step()/crash() etc.).
+    sim: Any
     register: Any
     reader_index: Dict[str, int] = field(default_factory=dict)
     updater_index: Dict[str, int] = field(default_factory=dict)
@@ -68,6 +96,7 @@ def build_register_system(
     workload: RegisterWorkload,
     schedule: Optional[Schedule] = None,
     pad_seed: Optional[int] = None,
+    runtime: Union[None, str, Any] = None,
 ) -> BuiltSystem:
     """An Algorithm 1 register under the given workload."""
     schedule = schedule or RandomSchedule(workload.seed)
@@ -75,7 +104,7 @@ def build_register_system(
         workload.num_readers,
         seed=workload.seed if pad_seed is None else pad_seed,
     )
-    sim = Simulation(schedule=schedule)
+    sim = _runtime_host(runtime, schedule)
     reg = AuditableRegister(
         num_readers=workload.num_readers, initial=workload.initial, pad=pad
     )
@@ -112,6 +141,7 @@ def build_max_register_system(
     pad_seed: Optional[int] = None,
     nonce_seed: Optional[int] = None,
     max_substrate: str = "atomic",
+    runtime: Union[None, str, Any] = None,
 ) -> BuiltSystem:
     """An Algorithm 2 max register under the given workload.
 
@@ -126,7 +156,7 @@ def build_max_register_system(
     nonces = NonceSource(
         seed=workload.seed if nonce_seed is None else nonce_seed
     )
-    sim = Simulation(schedule=schedule)
+    sim = _runtime_host(runtime, schedule)
     reg = AuditableMaxRegister(
         num_readers=workload.num_readers,
         initial=0,
@@ -178,10 +208,11 @@ def build_snapshot_system(
     workload: SnapshotWorkload,
     schedule: Optional[Schedule] = None,
     snapshot_substrate: str = "afek",
+    runtime: Union[None, str, Any] = None,
 ) -> BuiltSystem:
     """An Algorithm 3 snapshot under the given workload."""
     schedule = schedule or RandomSchedule(workload.seed)
-    sim = Simulation(schedule=schedule)
+    sim = _runtime_host(runtime, schedule)
     snap = AuditableSnapshot(
         components=workload.components,
         num_scanners=workload.num_scanners,
