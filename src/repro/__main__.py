@@ -5,6 +5,7 @@
     python -m repro sweep [options]     # parallel seeded sweep (engine)
     python -m repro check [options]     # model checking (repro.mc)
     python -m repro stress [options]    # threaded stress/throughput (repro.rt)
+    python -m repro lin FILE [options]  # linearizability verdict service
     python -m repro attacks             # run the attack gallery
     python -m repro version             # also: --version
 
@@ -27,6 +28,12 @@ Stress example -- Algorithm 1 on 8 real threads, post-validated by the
 linearizability checker::
 
     python -m repro stress --object register --threads 8
+
+Verdict-service example -- check recorded histories (one JSON array of
+operation payloads per line) against a named spec, fanned over 4
+workers, profiling nodes explored and wall time::
+
+    python -m repro lin histories.jsonl --spec register --workers 4
 
 Quick serial sanity passes (used by CI)::
 
@@ -55,6 +62,8 @@ def _overview() -> int:
           "(all interleavings)")
     print("  python -m repro stress [options]      threaded stress / "
           "throughput")
+    print("  python -m repro lin FILE [options]    linearizability verdict "
+          "service")
     print("  python -m repro attacks               run the attack gallery")
     print("  python -m repro version               print the version")
     print()
@@ -504,6 +513,188 @@ def _stress(argv) -> int:
     return 0 if report.ok else 1
 
 
+def _lin(argv) -> int:
+    """The ``lin`` subcommand: the batched linearizability verdict
+    service on recorded histories (field profiling)."""
+    import argparse
+    import json
+    import os
+    import time
+
+    from repro.analysis.fastlin import (
+        DEFAULT_MAX_NODES,
+        LIN_FAIL,
+        LIN_UNDECIDED,
+        check_histories_parallel,
+        spec_names,
+    )
+    from repro.harness.tables import render_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lin",
+        description="Check recorded histories from a JSONL file against "
+        "a named sequential specification through the fastlin verdict "
+        "service, printing per-history verdict, nodes explored and "
+        "wall time.  Each input line is either a JSON array of "
+        "operation payloads (repro.analysis.fastlin.op_to_payload) or "
+        "an object {\"history\": [...], \"spec\": ..., "
+        "\"spec_params\": {...}}.  Exit codes: 0 all linearizable, "
+        "1 a history is not linearizable, 2 undecided (node budget) "
+        "or a usage/input error (the argparse and repro-check "
+        "convention).",
+    )
+    parser.add_argument(
+        "history", nargs="?", metavar="FILE",
+        help="JSONL history file (one history per line)",
+    )
+    parser.add_argument(
+        "--spec", default=None, metavar="NAME",
+        help="named spec (see --list-specs); overrides per-record specs "
+        "(default: per-record, falling back to 'register')",
+    )
+    parser.add_argument(
+        "--spec-params", default=None, metavar="JSON",
+        help="JSON object of parameters for --spec "
+        "(e.g. '{\"initial\": \"v0\"}')",
+    )
+    parser.add_argument(
+        "--list-specs", action="store_true",
+        help="list registered spec names and exit",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=DEFAULT_MAX_NODES, metavar="N",
+        help="search-node budget per history; exhausting it yields an "
+        f"UNDECIDED verdict and exit code 2 (default: {DEFAULT_MAX_NODES})",
+    )
+    _add_engine_options(
+        parser,
+        workers_default=1,
+        workers_help="worker processes for the batched verdict service "
+        "(default: 1 = serial; 0 = one per CPU)",
+        out_help="JSONL checkpoint: one canonical verdict record per "
+        "history; rerunning with the same file resumes an interrupted "
+        "batch",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_specs:
+        for name in spec_names():
+            print(name)
+        return 0
+    if not args.history:
+        parser.error("a history FILE is required (or --list-specs)")
+    if args.spec_params and not args.spec:
+        parser.error("--spec-params requires --spec")
+
+    try:
+        override_params = (
+            json.loads(args.spec_params) if args.spec_params else None
+        )
+    except json.JSONDecodeError as exc:
+        print(f"lin: bad --spec-params: {exc}", file=sys.stderr)
+        return 2
+    jobs = []
+    try:
+        with open(args.history, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    print(
+                        f"lin: {args.history}:{lineno}: bad JSON: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if isinstance(record, list):
+                    payloads, spec, params = record, None, None
+                elif (isinstance(record, dict)
+                        and isinstance(record.get("history"), list)):
+                    payloads = record["history"]
+                    spec = record.get("spec")
+                    params = record.get("spec_params")
+                else:
+                    print(
+                        f"lin: {args.history}:{lineno}: expected a "
+                        "JSON array of operation payloads or an "
+                        "object with a \"history\" key",
+                        file=sys.stderr,
+                    )
+                    return 2
+                required = ("pid", "op_id", "name", "args", "invoke",
+                            "response", "result")
+                for payload in payloads:
+                    if not (isinstance(payload, dict)
+                            and all(key in payload for key in required)):
+                        print(
+                            f"lin: {args.history}:{lineno}: not an "
+                            "operation payload (need "
+                            f"{'/'.join(required)} keys; see "
+                            "repro.analysis.fastlin.op_to_payload)",
+                            file=sys.stderr,
+                        )
+                        return 2
+                # Payloads pass straight through to the verdict
+                # service -- workers decode them exactly once.
+                jobs.append((
+                    payloads,
+                    args.spec or spec or "register",
+                    (override_params or {}) if args.spec
+                    else (params or {}),
+                ))
+    except OSError as exc:
+        print(f"lin: cannot read {args.history}: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print(f"lin: {args.history} holds no histories", file=sys.stderr)
+        return 2
+
+    workers = args.workers or os.cpu_count() or 1
+    start = time.perf_counter()
+    try:
+        verdicts = check_histories_parallel(
+            jobs,
+            workers=workers,
+            max_nodes=args.max_nodes,
+            checkpoint=args.out,
+            resume=not args.no_resume,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        # Undecodable payload values or an unknown spec name are input
+        # errors (exit 2), not linearizability violations (exit 1).
+        print(f"lin: invalid history or spec: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for verdict, (ops, spec, _params) in zip(verdicts, jobs):
+        rows.append({
+            "history": verdict.index,
+            "spec": spec,
+            "ops": verdict.ops,
+            "partitions": verdict.partitions,
+            "nodes": verdict.explored,
+            "verdict": verdict.status.upper(),
+        })
+    print(render_table(rows))
+    total_nodes = sum(v.explored for v in verdicts)
+    failed = sum(1 for v in verdicts if v.status == LIN_FAIL)
+    undecided = sum(1 for v in verdicts if v.status == LIN_UNDECIDED)
+    print()
+    print(
+        f"  {len(verdicts)} histories, {total_nodes} nodes explored in "
+        f"{elapsed:.3f}s with {workers} worker(s); "
+        f"{failed} not linearizable, {undecided} undecided"
+    )
+    if args.out:
+        print(f"  records: {args.out}")
+    if failed:
+        return 1
+    return 2 if undecided else 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
@@ -524,6 +715,8 @@ def main(argv=None) -> int:
         return _check(rest)
     if command == "stress":
         return _stress(rest)
+    if command == "lin":
+        return _lin(rest)
     if command == "attacks":
         import runpy
         import pathlib

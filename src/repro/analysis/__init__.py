@@ -1,7 +1,12 @@
 """Analysis tooling: mechanical checks of the paper's claims.
 
-- :mod:`repro.analysis.linearizability` -- Wing-Gong linearizability
-  checking of recorded histories against sequential specifications.
+- :mod:`repro.analysis.fastlin` -- the high-performance linearizability
+  oracle: bitmask Wing-Gong search with forced-operation pruning,
+  P-compositional partitioning, structured ``undecided`` budgets and a
+  batched parallel verdict service.
+- :mod:`repro.analysis.linearizability` -- legacy shim over ``fastlin``
+  (historical raising-budget contract; keeps the naive reference
+  implementation for differential testing).
 - :mod:`repro.analysis.specs` -- sequential specifications (register,
   max register, snapshot, counter, and their auditable variants).
 - :mod:`repro.analysis.effectiveness` -- detects *effective* reads
@@ -17,11 +22,27 @@
 """
 
 from repro.analysis.audit_checks import (
+    AuditOracle,
     AuditViolation,
+    audit_oracle,
     check_audit_exactness,
     check_audit_monotone,
     expected_audit_set,
 )
+from repro.analysis.fastlin import (
+    LIN_FAIL,
+    LIN_OK,
+    LIN_UNDECIDED,
+    BatchVerdict,
+    FastLinChecker,
+    check_histories_parallel,
+    lin_jobs,
+    op_from_payload,
+    op_to_payload,
+    spec_from_name,
+    spec_names,
+)
+from repro.analysis.fastlin import check_history as fast_check_history
 from repro.analysis.effectiveness import (
     EffectiveRead,
     classify_read,
@@ -62,6 +83,7 @@ from repro.analysis.specs import (
     auditable_register_spec,
     counter_object_spec,
     max_register_spec,
+    register_array_spec,
     register_spec,
     snapshot_spec,
     tag_ops_with_pid,
@@ -70,20 +92,29 @@ from repro.analysis.specs import (
 )
 
 __all__ = [
+    "LIN_FAIL",
+    "LIN_OK",
+    "LIN_UNDECIDED",
     "PENDING",
     "AttackOutcome",
+    "AuditOracle",
     "AuditViolation",
+    "BatchVerdict",
     "EffectiveRead",
     "ExplorationBudgetExceeded",
     "ExplorationReport",
+    "FastLinChecker",
     "LinearizabilityChecker",
     "LinearizationResult",
     "PhaseViolation",
     "SeqSpec",
+    "audit_oracle",
     "auditable_max_register_spec",
     "auditable_register_spec",
     "check_audit_exactness",
     "check_audit_monotone",
+    "check_histories_parallel",
+    "fast_check_history",
     "check_fetch_xor_uniqueness",
     "check_history",
     "check_phase_structure",
@@ -96,13 +127,19 @@ __all__ = [
     "empirical_advantage",
     "expected_audit_set",
     "first_divergence",
+    "lin_jobs",
     "max_register_spec",
     "membership_guess",
     "observed_values",
+    "op_from_payload",
+    "op_to_payload",
     "phase_intervals",
     "projections_equal",
+    "register_array_spec",
     "register_spec",
     "snapshot_spec",
+    "spec_from_name",
+    "spec_names",
     "success_rate",
     "tag_ops_with_pid",
     "tag_reads",

@@ -18,6 +18,7 @@ every completed audit's response.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, List, Optional, Set, Tuple
 
@@ -48,18 +49,53 @@ def _audit_linearization_index(
     return None
 
 
+class AuditOracle:
+    """The syntactic audit oracle of one history, precomputed once.
+
+    The history is scanned a single time for ``fetch&xor`` events on
+    ``R`` (decoding each announced value once); every subsequent
+    ``expected(before_index)`` query is a binary search plus a prefix
+    materialisation.  This removes the O(audits x events) rescan the
+    per-call :func:`expected_audit_set` used to pay -- the same
+    quadratic-precompute bug class the linearizability rewrite fixed.
+    """
+
+    def __init__(self, history: History, register) -> None:
+        self._r_name: str = register.R.name
+        self._indices: List[int] = []
+        self._pairs: List[Tuple[int, Any]] = []
+        for event in history.primitive_events(
+            obj_name=self._r_name, primitive="fetch_xor"
+        ):
+            j = event.args[0].bit_length() - 1
+            self._indices.append(event.index)
+            self._pairs.append((j, register._decode_value(event.result.val)))
+
+    def expected(self, before_index: int) -> Set[Tuple[int, Any]]:
+        """Pairs of effective reads linearized before ``before_index``."""
+        count = bisect_left(self._indices, before_index)
+        return set(self._pairs[:count])
+
+    def linearization_index(self, op: OperationRecord) -> Optional[int]:
+        """The audit's linearization point (its read of ``R``), or
+        ``None`` for an audit of a different object."""
+        return _audit_linearization_index(op, self._r_name)
+
+
+def audit_oracle(history: History, register) -> AuditOracle:
+    """Precompute the audit oracle for repeated queries."""
+    return AuditOracle(history, register)
+
+
 def expected_audit_set(
     history: History, register, before_index: int
 ) -> Set[Tuple[int, Any]]:
-    """Pairs of effective reads linearized before ``before_index``."""
-    pairs: Set[Tuple[int, Any]] = set()
-    for event in history.primitive_events(
-        obj_name=register.R.name, primitive="fetch_xor"
-    ):
-        if event.index < before_index:
-            j = event.args[0].bit_length() - 1
-            pairs.add((j, register._decode_value(event.result.val)))
-    return pairs
+    """Pairs of effective reads linearized before ``before_index``.
+
+    One-shot convenience; for several queries against the same history
+    build an :func:`audit_oracle` once and reuse it.
+    """
+    return AuditOracle(history, register).expected(before_index)
 
 
 def check_audit_exactness(
@@ -68,11 +104,12 @@ def check_audit_exactness(
     """Compare each completed audit against the syntactic oracle."""
     violations: List[AuditViolation] = []
     r_name = register.R.name
+    oracle = AuditOracle(history, register)
     for op in history.complete_operations(name="audit"):
         lin = _audit_linearization_index(op, r_name)
         if lin is None:
             continue  # audit of a different object
-        expected = expected_audit_set(history, register, lin)
+        expected = oracle.expected(lin)
         reported = set(op.result)
         if expected != reported:
             violations.append(

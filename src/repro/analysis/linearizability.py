@@ -1,68 +1,51 @@
-"""Wing-Gong linearizability checking.
+"""Wing-Gong linearizability checking -- legacy shim over ``fastlin``.
 
-Given the operations recorded in a history and a sequential
-specification, search for a *linearization* (Definition 1): a sequential
-order containing all complete operations and a subset of the pending
-ones, extending the real-time precedence order, and conforming to the
-spec.
+.. deprecated::
+    The naive Wing-Gong search grew into a high-performance
+    verification core: integer-bitmask done-sets, precomputed
+    precedence bitmasks, forced-operation (Lowe-style) pruning,
+    P-compositional partitioning and a batched parallel verdict
+    service now live in :mod:`repro.analysis.fastlin`.  This module
+    keeps the original API working: ``check_history`` and
+    :class:`LinearizabilityChecker` delegate to the new checker and
+    preserve the historical budget contract (a ``max_nodes`` overrun
+    **raises** ``RuntimeError`` here, where the new API returns a
+    structured ``status == "undecided"`` result).
 
-The search is exponential in the worst case but histories checked in the
-experiments are small (tens of operations with bounded concurrency);
-memoisation on (set of linearized operations, spec state) keeps it fast
-in practice.
+    New code should call :func:`repro.analysis.fastlin.check_history`
+    directly, or ``python -m repro lin`` from the command line.
 
-Pending operations never observed a response; the checker may either
-drop them or linearize them with *any* result the spec allows
-(``result=PENDING``).
+The original O(n^2)-precedence, frozenset-memoised search survives as
+:func:`legacy_check_history`: it is the executable reference the
+property tests differentially check the rewrite against, and the
+baseline ``benchmarks/bench_b10_lin_throughput.py`` measures the
+speedup from.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+from typing import Any, List, Sequence, Set, Tuple
 
+# Re-exported for backward compatibility: these are the same objects
+# the new core defines (SeqSpec gained optional P-compositionality
+# hooks; existing constructors are unchanged).
+from repro.analysis.fastlin import (  # noqa: F401
+    LIN_UNDECIDED,
+    PENDING,
+    FastLinChecker,
+    LinearizationResult,
+    SeqSpec,
+)
 from repro.sim.history import OperationRecord
 
 
-class _Pending:
-    def __repr__(self) -> str:
-        return "<pending>"
-
-
-PENDING = _Pending()
-
-
-@dataclass(frozen=True)
-class SeqSpec:
-    """A sequential specification.
-
-    ``apply(state, name, args, result)`` returns the successor state if
-    the operation with the given result is legal in ``state``, else
-    ``None``.  When ``result is PENDING`` the operation never returned:
-    the spec should accept it with any legal return value (for total
-    operations this means: accept, return the successor state for the
-    canonical result).
-
-    States must be hashable (used as memoisation keys).
-    """
-
-    name: str
-    initial: Any
-    apply: Callable[[Any, str, Tuple[Any, ...], Any], Optional[Any]]
-
-
-@dataclass
-class LinearizationResult:
-    ok: bool
-    order: Optional[List[OperationRecord]] = None
-    explored: int = 0
-
-    def __bool__(self) -> bool:
-        return self.ok
-
-
 class LinearizabilityChecker:
-    """Checks one object's history against a sequential spec."""
+    """Checks one object's history against a sequential spec.
+
+    Deprecated alias for :class:`repro.analysis.fastlin.FastLinChecker`
+    with the historical budget behaviour: exceeding ``max_nodes``
+    raises ``RuntimeError`` instead of returning an undecided result.
+    """
 
     def __init__(self, spec: SeqSpec, max_nodes: int = 2_000_000) -> None:
         self.spec = spec
@@ -71,68 +54,82 @@ class LinearizabilityChecker:
     def check(
         self, operations: Sequence[OperationRecord]
     ) -> LinearizationResult:
-        ops = list(operations)
-        n = len(ops)
-        if n == 0:
-            return LinearizationResult(True, [])
-        # Precompute the predecessor sets under real-time order.
-        preds: List[Set[int]] = [set() for _ in range(n)]
-        for i, a in enumerate(ops):
-            for j, b in enumerate(ops):
-                if i != j and a.precedes(b):
-                    preds[j].add(i)
-        complete = [i for i, op in enumerate(ops) if op.is_complete]
-        explored = 0
-        seen: Set[Tuple[frozenset, Any]] = set()
-
-        # Depth-first search over (linearized set, spec state).
-        # Complete ops must all be linearized; pending ops are optional
-        # but, once every complete op is placed, we succeed immediately
-        # (remaining pending ops are simply dropped).
-        def eligible(done: Set[int]) -> List[int]:
-            return [
-                i
-                for i in range(n)
-                if i not in done and preds[i] <= done
-            ]
-
-        stack: List[Tuple[frozenset, Any, List[int]]] = []
-        initial_key = (frozenset(), self.spec.initial)
-        seen.add(self._key(frozenset(), self.spec.initial))
-        stack.append((frozenset(), self.spec.initial, []))
-        while stack:
-            done, state, order = stack.pop()
-            explored += 1
-            if explored > self.max_nodes:
-                raise RuntimeError(
-                    f"linearizability search exceeded {self.max_nodes} "
-                    "nodes; reduce history size"
-                )
-            if all(i in done for i in complete):
-                return LinearizationResult(
-                    True, [ops[i] for i in order], explored
-                )
-            for i in eligible(set(done)):
-                op = ops[i]
-                result = op.result if op.is_complete else PENDING
-                new_state = self.spec.apply(state, op.name, op.args, result)
-                if new_state is None:
-                    continue
-                new_done = done | {i}
-                key = self._key(new_done, new_state)
-                if key in seen:
-                    continue
-                seen.add(key)
-                stack.append((new_done, new_state, order + [i]))
-        return LinearizationResult(False, None, explored)
-
-    @staticmethod
-    def _key(done: frozenset, state: Any) -> Tuple:
-        return (done, state)
+        result = FastLinChecker(self.spec, self.max_nodes).check(operations)
+        if result.status == LIN_UNDECIDED:
+            raise RuntimeError(
+                f"linearizability search exceeded {self.max_nodes} "
+                "nodes; reduce history size"
+            )
+        return result
 
 
 def check_history(
     operations: Sequence[OperationRecord], spec: SeqSpec
 ) -> LinearizationResult:
-    """Convenience wrapper."""
+    """Convenience wrapper (historical raising-budget contract)."""
     return LinearizabilityChecker(spec).check(operations)
+
+
+def legacy_check_history(
+    operations: Sequence[OperationRecord],
+    spec: SeqSpec,
+    max_nodes: int = 2_000_000,
+) -> LinearizationResult:
+    """The original naive Wing-Gong search, kept as a reference oracle.
+
+    O(n^2) pairwise ``precedes`` precomputation, full eligibility
+    rescans, ``order + [i]`` list copies and frozenset-keyed
+    memoisation -- exactly the seed implementation.  The fastlin
+    property tests cross-check the rewrite against this function, and
+    ``bench_b10`` measures the rewrite's speedup relative to it.
+    Partitioning hooks on ``spec`` are ignored (the global ``apply``
+    is used), which is what makes differential runs meaningful.
+    """
+    ops = list(operations)
+    n = len(ops)
+    if n == 0:
+        return LinearizationResult(True, [])
+    preds: List[Set[int]] = [set() for _ in range(n)]
+    for i, a in enumerate(ops):
+        for j, b in enumerate(ops):
+            if i != j and a.precedes(b):
+                preds[j].add(i)
+    complete = [i for i, op in enumerate(ops) if op.is_complete]
+    explored = 0
+    seen: Set[Tuple[frozenset, Any]] = set()
+
+    def eligible(done: Set[int]) -> List[int]:
+        return [
+            i
+            for i in range(n)
+            if i not in done and preds[i] <= done
+        ]
+
+    stack: List[Tuple[frozenset, Any, List[int]]] = []
+    seen.add((frozenset(), spec.initial))
+    stack.append((frozenset(), spec.initial, []))
+    while stack:
+        done, state, order = stack.pop()
+        explored += 1
+        if explored > max_nodes:
+            raise RuntimeError(
+                f"linearizability search exceeded {max_nodes} "
+                "nodes; reduce history size"
+            )
+        if all(i in done for i in complete):
+            return LinearizationResult(
+                True, [ops[i] for i in order], explored
+            )
+        for i in eligible(set(done)):
+            op = ops[i]
+            result = op.result if op.is_complete else PENDING
+            new_state = spec.apply(state, op.name, op.args, result)
+            if new_state is None:
+                continue
+            new_done = done | {i}
+            key = (new_done, new_state)
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.append((new_done, new_state, order + [i]))
+    return LinearizationResult(False, None, explored)

@@ -195,6 +195,56 @@ def versioned_spec(
     )
 
 
+def register_array_spec(
+    initial: Any = 0, name: str = "register_array"
+) -> SeqSpec:
+    """Array of independent registers: ``write(cell, v)`` / ``read(cell)``.
+
+    Every operation touches exactly one cell, so the spec declares the
+    P-compositionality hooks: :class:`~repro.analysis.fastlin.
+    FastLinChecker` partitions the history per cell and checks each
+    projection against a plain per-cell register spec, turning one
+    exponential search into many small ones.  The global ``apply``
+    (state: sorted tuple of ``(cell, value)`` pairs) is also provided,
+    so partition-unaware checkers -- e.g. the legacy reference oracle --
+    verify the *same* spec object; differential tests compare the two
+    paths directly.
+    """
+
+    def global_apply(state, op_name, args, result):
+        cells = dict(state)
+        cell = args[0]
+        current = cells.get(cell, initial)
+        if op_name == "write":
+            cells[cell] = args[1]
+            return tuple(sorted(cells.items(), key=repr))
+        if op_name == "read":
+            if result is PENDING or result == current:
+                return state
+            return None
+        return None
+
+    def cell_spec(cell: Any) -> SeqSpec:
+        def apply(state, op_name, args, result):
+            if op_name == "write":
+                return args[1]
+            if op_name == "read":
+                if result is PENDING or result == state:
+                    return state
+                return None
+            return None
+
+        return SeqSpec(f"{name}[{cell!r}]", initial, apply)
+
+    return SeqSpec(
+        name,
+        (),
+        global_apply,
+        partition_key=lambda op_name, args: args[0],
+        partition_spec=cell_spec,
+    )
+
+
 def tag_reads(operations):
     """Copies of the operations with each read's args set to ``(pid,)``."""
     tagged = []

@@ -16,13 +16,20 @@ from repro.analysis import (
     auditable_register_spec,
     check_audit_exactness,
     check_fetch_xor_uniqueness,
-    check_history,
     check_phase_structure,
     check_value_sequence,
-    expected_audit_set,
     snapshot_spec,
     tag_ops_with_pid,
     tag_reads,
+)
+from repro.analysis.audit_checks import audit_oracle
+from repro.analysis.fastlin import (
+    DEFAULT_MAX_NODES,
+    LIN_OK,
+    FastLinChecker,
+    check_history,
+    op_from_payload,
+    spec_from_name,
 )
 from repro.sim.history import History
 from repro.workloads.generators import (
@@ -38,19 +45,12 @@ def lifted_audit_violations(history: History, max_register) -> int:
     register (Algorithm 3 / Theorem 13): their audits strip the version
     component, so compare against the stripped M-level oracle."""
     violations = 0
-    r_name = max_register.R.name
+    oracle = audit_oracle(history, max_register)
     for op in history.complete_operations(name="audit"):
-        lin = None
-        for event in op.primitives:
-            if event.obj_name == r_name and event.primitive == "read":
-                lin = event.index
-                break
+        lin = oracle.linearization_index(op)
         if lin is None:
             continue
-        expected = {
-            (j, pair[1])
-            for j, pair in expected_audit_set(history, max_register, lin)
-        }
+        expected = {(j, pair[1]) for j, pair in oracle.expected(lin)}
         if expected != set(op.result):
             violations += 1
     return violations
@@ -91,7 +91,13 @@ def register_sweep_task(
         + check_value_sequence(history, built.register)
     )
     spec = auditable_register_spec(workload.initial, built.reader_index)
-    lin_fail = not check_history(tag_reads(history.operations()), spec).ok
+    # A budget-starved (undecided) search counts as a failure here: a
+    # sweep verdict must never report a history it could not verify as
+    # linearizable (the pre-fastlin checker raised instead).
+    lin_fail = (
+        check_history(tag_reads(history.operations()), spec).status
+        != LIN_OK
+    )
     return {
         "lin_fail": lin_fail,
         "audit_fail": audit_fail,
@@ -127,13 +133,43 @@ def snapshot_sweep_task(
     spec = snapshot_spec(
         workload.components, 0, built.updater_index, built.scanner_index
     )
-    lin_fail = not check_history(
-        tag_ops_with_pid(history.operations()), spec
-    ).ok
+    lin_fail = (
+        check_history(tag_ops_with_pid(history.operations()), spec).status
+        != LIN_OK
+    )
     audit_fail = bool(lifted_audit_violations(history, built.register.M))
     return {
         "lin_fail": lin_fail,
         "audit_fail": audit_fail,
         "steps": built.sim.steps_taken,
         "ops": len(history.complete_operations()),
+    }
+
+
+def lin_check_task(
+    seed: int,
+    history=(),
+    spec: str = "register",
+    spec_params: Dict[str, Any] = None,
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> Dict[str, Any]:
+    """One batched-verdict-service job: check one encoded history.
+
+    ``history`` is a list of operation payloads
+    (:func:`repro.analysis.fastlin.op_to_payload`); ``spec`` /
+    ``spec_params`` name a spec in the
+    :func:`repro.analysis.fastlin.spec_from_name` registry -- both
+    JSON-safe, so the engine's canonical-JSONL checkpoint contract
+    holds.  The ``seed`` is unused (histories are already recorded) but
+    part of the engine task signature.
+    """
+    ops = [op_from_payload(payload) for payload in history]
+    result = FastLinChecker(
+        spec_from_name(spec, **(spec_params or {})), max_nodes=max_nodes
+    ).check(ops)
+    return {
+        "status": result.status,
+        "explored": result.explored,
+        "partitions": result.partitions,
+        "ops": len(ops),
     }

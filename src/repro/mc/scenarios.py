@@ -179,9 +179,9 @@ def register_scenario_check(sim, reg):
         auditable_register_spec as _spec,
         check_audit_exactness,
         check_fetch_xor_uniqueness,
-        check_history,
         check_phase_structure,
         check_value_sequence,
+        fast_check_history as check_history,
         tag_reads as _tag,
     )
 
@@ -205,6 +205,10 @@ def register_scenario_check(sim, reg):
     result = check_history(
         _tag(history.operations()), _spec(reg.initial, reader_index)
     )
+    if result.undecided:
+        # Surfaced as a verdict so a budget-starved check cannot be
+        # mistaken for a verified interleaving.
+        return "linearizability undecided (node budget exhausted)"
     if not result.ok:
         return "not linearizable"
     return None
@@ -244,9 +248,9 @@ def max_scenario_check(sim, reg):
         auditable_max_register_spec as _spec,
         check_audit_exactness,
         check_fetch_xor_uniqueness,
-        check_history,
         check_phase_structure,
         check_value_sequence,
+        fast_check_history as check_history,
         tag_reads as _tag,
     )
 
@@ -267,6 +271,8 @@ def max_scenario_check(sim, reg):
     result = check_history(
         _tag(history.operations()), _spec(0, reader_index)
     )
+    if result.undecided:
+        return "linearizability undecided (node budget exhausted)"
     if not result.ok:
         return "not linearizable"
     return None

@@ -20,7 +20,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro._seeding import stable_hash
 from repro.analysis.audit_checks import check_audit_exactness
-from repro.analysis.linearizability import check_history
+from repro.analysis.fastlin import (
+    DEFAULT_MAX_NODES,
+    LIN_UNDECIDED,
+    check_history,
+)
 from repro.analysis.specs import (
     auditable_max_register_spec,
     auditable_register_spec,
@@ -99,6 +103,10 @@ class StressReport:
     validated: bool = False
     lin_ok: Optional[bool] = None
     audit_ok: Optional[bool] = None
+    # "ok"/"fail"/"undecided" when validated; an undecided verdict
+    # (linearizability node budget exhausted) leaves lin_ok None -- the
+    # run is reported, just not vouched for.
+    lin_status: Optional[str] = None
 
     @property
     def threads(self) -> int:
@@ -126,6 +134,7 @@ class StressReport:
             "latency": self.latency,
             "validated": self.validated,
             "lin_ok": self.lin_ok,
+            "lin_status": self.lin_status,
             "audit_ok": self.audit_ok,
         }
 
@@ -151,8 +160,13 @@ class StressReport:
                 f"max={stats['max_us']:>8.1f}us"
             )
         if self.validated:
-            lin = "PASS" if self.lin_ok else "FAIL"
-            lines.append(f"  [{lin}] history linearizable")
+            if self.lin_status == LIN_UNDECIDED:
+                lines.append(
+                    "  [UNDECIDED] linearizability node budget exhausted"
+                )
+            else:
+                lin = "PASS" if self.lin_ok else "FAIL"
+                lines.append(f"  [{lin}] history linearizable")
             if self.audit_ok is not None:
                 audit = "PASS" if self.audit_ok else "FAIL"
                 lines.append(f"  [{audit}] audit exactness")
@@ -281,35 +295,53 @@ def _build(
     return system
 
 
+def _lin_verdict(result) -> Tuple[Optional[bool], str]:
+    """Map a fastlin result onto (lin_ok, lin_status).
+
+    An undecided search (node budget exhausted) is *not* a violation:
+    ``lin_ok`` stays ``None`` so the run neither passes nor fails on
+    linearizability, and the status records why.
+    """
+    if result.status == LIN_UNDECIDED:
+        return None, LIN_UNDECIDED
+    return result.ok, result.status
+
+
 def _validate(
-    object_kind: str, history: History, system: _StressSystem
-) -> Tuple[bool, Optional[bool]]:
-    """(linearizable?, audit-exact?) for the recorded history."""
+    object_kind: str,
+    history: History,
+    system: _StressSystem,
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> Tuple[Optional[bool], Optional[bool], str]:
+    """(linearizable?, audit-exact?, lin status) for the history."""
     if object_kind == "snapshot":
         spec = snapshot_spec(
             system.components, 0, system.updater_index, system.scanner_index
         )
-        lin = check_history(
-            tag_ops_with_pid(history.operations()), spec
-        ).ok
+        lin, status = _lin_verdict(check_history(
+            tag_ops_with_pid(history.operations()), spec,
+            max_nodes=max_nodes,
+        ))
         from repro.engine.tasks import lifted_audit_violations
 
         audit: Optional[bool] = (
             lifted_audit_violations(history, system.register.M) == 0
         )
-        return lin, audit
+        return lin, audit, status
     if object_kind == "max":
         spec = auditable_max_register_spec(0, system.reader_index)
     else:
         spec = auditable_register_spec("v0", system.reader_index)
-    lin = check_history(tag_reads(history.operations()), spec).ok
+    lin, status = _lin_verdict(check_history(
+        tag_reads(history.operations()), spec, max_nodes=max_nodes
+    ))
     if object_kind == "naive":
         # The naive design has no fetch&xor, so the syntactic oracle
         # does not apply; linearizability against the auditable spec is
         # the whole check.
-        return lin, None
+        return lin, None, status
     audit = not check_audit_exactness(history, system.register)
-    return lin, audit
+    return lin, audit, status
 
 
 def run_stress(
@@ -325,6 +357,7 @@ def run_stress(
     validate: Optional[bool] = None,
     max_substrate: str = "atomic",
     snapshot_substrate: str = "afek",
+    lin_max_nodes: int = DEFAULT_MAX_NODES,
 ) -> StressReport:
     """One threaded stress run; see the module docstring.
 
@@ -332,6 +365,9 @@ def run_stress(
     requires ``duration``).  ``validate`` defaults to on for bounded
     budgets and off for duration-only runs, whose histories can be far
     too large for the exponential linearizability search.
+    ``lin_max_nodes`` bounds that search: exhausting it yields an
+    UNDECIDED linearizability verdict (``lin_ok is None``), never a
+    crash.
     """
     if ops is None and duration is None:
         raise ValueError("need an op budget (ops=) or a duration")
@@ -379,5 +415,7 @@ def run_stress(
         )
     if validate:
         report.validated = True
-        report.lin_ok, report.audit_ok = _validate(object, history, system)
+        report.lin_ok, report.audit_ok, report.lin_status = _validate(
+            object, history, system, max_nodes=lin_max_nodes
+        )
     return report
