@@ -53,8 +53,10 @@ from repro.analysis.specs import (
 from repro.sim.history import OperationRecord
 from repro.workloads.generators import RegisterWorkload, build_register_system
 
+from conftest import _smoke_gate
+
 OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_lin.json"
-SMOKE = os.environ.get("BENCH_LIN_SMOKE") == "1"
+SMOKE = _smoke_gate("BENCH_LIN_SMOKE")
 
 E2_SHAPES = [
     dict(num_readers=1, num_writers=1, num_auditors=1,

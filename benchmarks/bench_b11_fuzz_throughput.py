@@ -1,0 +1,156 @@
+"""B11 -- schedule-fuzzing throughput and time-to-first-violation.
+
+Two measurements behind the repro.fuzz design:
+
+- *Sampler throughput*: schedules/second per sampler on a clean
+  Algorithm 1 scenario.  Uniform and PCT pay one oracle check per run;
+  the coverage sampler additionally fingerprints every decision point
+  with the model checker's configuration fingerprint -- its lower rate
+  is the price of novelty guidance and is reported honestly, not
+  hidden.
+- *Time-to-first-violation ladder*: on every known-violating catalogue
+  target, how many schedules (and how much wall clock) each sampler
+  needs to find the bug, next to the reduced model checker's wall
+  clock on the same scenario (`repro check` must explore the scenario
+  exhaustively before it reports; the fuzzer stops at the first
+  counterexample -- that asymmetry is the point of the subsystem).
+
+Results land in ``BENCH_fuzz.json`` at the repository root and in the
+pytest-benchmark ``extra_info``.  Smoke mode (``BENCH_FUZZ_SMOKE=1``,
+shared ``_smoke_gate`` contract) shrinks budgets for CI and skips the
+file write -- the committed record is always full-mode output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import _smoke_gate
+
+from repro.fuzz import (
+    get_target,
+    replay_trace,
+    run_one,
+    sampler_from_name,
+    shrink_trace,
+    violating_target_names,
+)
+from repro.mc import explore
+
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fuzz.json"
+SMOKE = _smoke_gate("BENCH_FUZZ_SMOKE")
+
+SAMPLERS = ("uniform", "pct", "coverage")
+CLEAN_TARGET = "alg1-w1-r1"
+THROUGHPUT_SCHEDULES = 40 if SMOKE else 400
+LADDER_BUDGET = 128 if SMOKE else 1024
+LADDER_TARGETS = (
+    ("buggy-counter",) if SMOKE else tuple(violating_target_names())
+)
+#: Targets the model checker can also verify (no crash injection).
+CHECKABLE = {
+    "buggy-counter", "buggy-counter-deep",
+    "buggy-maxreg", "buggy-maxreg-deep",
+}
+
+
+def _schedules_per_sec(sampler_name: str, schedules: int) -> float:
+    target = get_target(CLEAN_TARGET)
+    sampler = sampler_from_name(sampler_name)
+    start = time.perf_counter()
+    for seed in range(schedules):
+        result = run_one(target, seed, sampler)
+        assert result.complete and not result.violating
+    elapsed = time.perf_counter() - start
+    return schedules / elapsed if elapsed else float("inf")
+
+
+def _first_violation(target_name: str, sampler_name: str, budget: int):
+    """(schedules to first violation, seconds, run result) or None."""
+    target = get_target(target_name)
+    sampler = sampler_from_name(sampler_name)
+    start = time.perf_counter()
+    for seed in range(budget):
+        result = run_one(target, seed, sampler)
+        if result.violating:
+            return seed + 1, time.perf_counter() - start, result
+    return None
+
+
+def test_bench_fuzz_throughput(benchmark):
+    """Schedules/sec per sampler + the violation ladder; writes
+    BENCH_fuzz.json."""
+    rates = {}
+    for name in SAMPLERS:
+        if name == SAMPLERS[-1]:
+            rates[name] = benchmark.pedantic(
+                lambda: _schedules_per_sec(
+                    SAMPLERS[-1], THROUGHPUT_SCHEDULES
+                ),
+                rounds=1, iterations=1,
+            )
+        else:
+            rates[name] = _schedules_per_sec(name, THROUGHPUT_SCHEDULES)
+        benchmark.extra_info[f"schedules_per_sec_{name}"] = round(
+            rates[name], 1
+        )
+
+    ladder = {}
+    for target_name in LADDER_TARGETS:
+        row = {}
+        for sampler_name in SAMPLERS:
+            found = _first_violation(
+                target_name, sampler_name, LADDER_BUDGET
+            )
+            assert found is not None, (
+                f"{sampler_name} found no violation of {target_name} "
+                f"within {LADDER_BUDGET} schedules"
+            )
+            schedules, seconds, result = found
+            shrunk = shrink_trace(
+                get_target(target_name), result.trace
+            )
+            assert shrunk.shrunk_len < len(result.trace)
+            replayed = replay_trace(
+                get_target(target_name), shrunk.trace
+            )
+            assert replayed.verdict == result.verdict
+            row[sampler_name] = {
+                "schedules_to_violation": schedules,
+                "seconds_to_violation": round(seconds, 4),
+                "trace_len": len(result.trace),
+                "shrunk_len": shrunk.shrunk_len,
+            }
+        if target_name in CHECKABLE:
+            factory, check = get_target(target_name).build()
+            start = time.perf_counter()
+            report = explore(factory, check)
+            row["repro_check"] = {
+                "seconds_exhaustive": round(
+                    time.perf_counter() - start, 4
+                ),
+                "executions": report.executions,
+                "violations": len(report.violation_details),
+            }
+            assert not report.ok
+        ladder[target_name] = row
+
+    if not SMOKE:
+        # The committed BENCH_fuzz.json is the full-mode record; the
+        # CI smoke run must not clobber it (the B10 convention).
+        payload = {
+            "bench": "b11_fuzz_throughput",
+            "clean_target": CLEAN_TARGET,
+            "throughput_schedules": THROUGHPUT_SCHEDULES,
+            "schedules_per_sec": {
+                name: round(rate, 1) for name, rate in rates.items()
+            },
+            "violation_budget": LADDER_BUDGET,
+            "time_to_first_violation": ladder,
+        }
+        OUT_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    benchmark.extra_info["targets"] = len(ladder)

@@ -19,13 +19,16 @@ from __future__ import annotations
 import os
 import time
 
+from conftest import _smoke_gate
+
 from repro.engine import make_tasks, register_sweep_task, run_tasks
 from repro.memory.register import AtomicRegister
 from repro.sim.process import Op
 from repro.sim.runner import Simulation
 from repro.sim.scheduler import RandomSchedule
 
-SWEEP_SEEDS = 64
+SMOKE = _smoke_gate("BENCH_SWEEP_SMOKE")
+SWEEP_SEEDS = 8 if SMOKE else 64
 # Heavy enough (~20ms/task serial) that pool start-up cost is noise
 # next to the fan-out win; light enough to keep the bench under ~3s.
 SWEEP_POINT = dict(
@@ -71,7 +74,9 @@ def test_bench_parallel_sweep(benchmark):
     benchmark.extra_info["serial_seconds"] = round(serial_s, 4)
     benchmark.extra_info["parallel_seconds"] = round(parallel_s, 4)
     benchmark.extra_info["speedup"] = round(speedup, 2)
-    if cores >= 4:
+    if cores >= 4 and not SMOKE:
+        # Smoke corpora are too small for pool start-up to amortize;
+        # the smoke run asserts only the determinism contract above.
         assert speedup >= 2.0, (
             f"expected >= 2x on a {cores}-core box, got {speedup:.2f}x"
         )

@@ -21,12 +21,17 @@ from __future__ import annotations
 import os
 import time
 
+from conftest import _smoke_gate
+
 from repro.mc import explore
 from repro.mc.parallel import explore_parallel
 from repro.mc.scenarios import get_scenario
 
+SMOKE = _smoke_gate("BENCH_MC_SMOKE")
 SCENARIO = "alg1-w1-r1"
-BIG_SCENARIO = "alg2-w2"
+# In smoke mode the parallel-frontier leg reuses the small scenario:
+# the equality assertions still bite, the wall clock does not.
+BIG_SCENARIO = SCENARIO if SMOKE else "alg2-w2"
 
 
 def test_bench_raw_enumeration(benchmark):

@@ -6,11 +6,33 @@ pass) with a *timing benchmark* of the code path the experiment
 exercises.  The B-series files measure costs the paper only bounds
 asymptotically; their step counts are attached to the benchmark's
 ``extra_info`` so they appear in ``--benchmark-json`` output.
+
+Smoke gating: CI runs the heavyweight B-series benchmarks with shrunk
+corpora behind ``BENCH_*_SMOKE`` environment flags.  Every bench file
+resolves its flag through :func:`_smoke_gate`, so the flags behave
+identically across B7/B8/B10/B11: a flag is *on* iff it (or the
+blanket ``BENCH_SMOKE``) is set to the literal string ``"1"`` --
+``BENCH_LIN_SMOKE=true`` or ``=yes`` is a configuration error, not a
+silently-different smoke mode.
 """
 
 from __future__ import annotations
 
+import os
+
 import repro.harness.experiments  # noqa: F401 -- registers E1..E10
+
+
+def _smoke_gate(*flags: str) -> bool:
+    """True iff any named ``BENCH_*`` flag (or ``BENCH_SMOKE``) is "1".
+
+    The single source of truth for benchmark smoke modes; bench files
+    must not read ``os.environ`` themselves.
+    """
+    return any(
+        os.environ.get(flag) == "1"
+        for flag in (*flags, "BENCH_SMOKE")
+    )
 
 
 def primitive_steps(history, pid=None, name=None):

@@ -4,6 +4,7 @@
     python -m repro experiments [E...]  # run experiment drivers
     python -m repro sweep [options]     # parallel seeded sweep (engine)
     python -m repro check [options]     # model checking (repro.mc)
+    python -m repro fuzz [options]      # schedule fuzzing (repro.fuzz)
     python -m repro stress [options]    # threaded stress/throughput (repro.rt)
     python -m repro lin FILE [options]  # linearizability verdict service
     python -m repro attacks             # run the attack gallery
@@ -24,6 +25,16 @@ checkpoint::
 
     python -m repro check --workers 4 --out mc.jsonl
 
+Fuzz example -- 1024 PCT-sampled schedules of a scenario too large to
+model-check, fanned over 4 workers with a resumable JSONL checkpoint,
+the first violation shrunk and saved as a replayable trace::
+
+    python -m repro fuzz --target buggy-maxreg-deep --sampler pct \\
+        --schedules 1024 --workers 4 --out fuzz.jsonl \\
+        --save-trace counterexample.json
+
+    python -m repro fuzz --replay counterexample.json
+
 Stress example -- Algorithm 1 on 8 real threads, post-validated by the
 linearizability checker::
 
@@ -39,6 +50,7 @@ Quick serial sanity passes (used by CI)::
 
     python -m repro sweep --smoke
     python -m repro check --smoke
+    python -m repro fuzz --smoke --expect-violation
     python -m repro stress --smoke
 """
 
@@ -60,6 +72,8 @@ def _overview() -> int:
     print("  python -m repro sweep [options]       parallel seeded sweep")
     print("  python -m repro check [options]       model checking "
           "(all interleavings)")
+    print("  python -m repro fuzz [options]        randomized schedule "
+          "fuzzing")
     print("  python -m repro stress [options]      threaded stress / "
           "throughput")
     print("  python -m repro lin FILE [options]    linearizability verdict "
@@ -70,6 +84,8 @@ def _overview() -> int:
     print("examples:")
     print("  python -m repro sweep --seeds 64 --workers 4 --out sweep.jsonl")
     print("  python -m repro check --compare --workers 4 --out mc.jsonl")
+    print("  python -m repro fuzz --target buggy-maxreg-deep "
+          "--sampler pct --schedules 1024")
     print("  python -m repro stress --object register --threads 8")
     print()
     print("registered experiments:", " ".join(sorted(registry())))
@@ -416,6 +432,300 @@ def _check(argv) -> int:
     return 2 if partial else 0
 
 
+def _fuzz(argv) -> int:
+    """The ``fuzz`` subcommand: randomized schedule search
+    (``repro.fuzz``) with replay and counterexample shrinking."""
+    import argparse
+    import os
+
+    from repro.fuzz import (
+        DEFAULT_MAX_STEPS,
+        ReplayMismatch,
+        TraceFormatError,
+        dumps_trace,
+        get_target,
+        loads_trace,
+        replay_trace,
+        sampler_names,
+        target_names,
+    )
+    from repro.fuzz.campaign import run_campaign
+    from repro.harness.tables import render_table
+    from repro.mc.scenarios import E13_SUITE
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Sample randomized schedules of named targets "
+        "(every model-checking scenario plus crash-injecting fuzz "
+        "targets), judging each complete execution with the target's "
+        "oracle (fastlin verdicts, audit exactness).  Every run records "
+        "a replayable trace; the first violation is delta-debugged to a "
+        "locally-minimal counterexample schedule.  Exit codes: 0 all "
+        "schedules clean, 1 a violation was found, 2 the wall-clock "
+        "budget expired before the campaign finished (PARTIAL) or a "
+        "usage error.",
+    )
+    parser.add_argument(
+        "--target", nargs="+", default=None, metavar="NAME",
+        help="fuzz target names (default: the E13 suite; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered fuzz targets and exit",
+    )
+    parser.add_argument(
+        "--sampler", choices=sampler_names(), default="uniform",
+        help="schedule sampler (default: uniform)",
+    )
+    parser.add_argument(
+        "--pct-depth", type=int, default=3, metavar="D",
+        help="PCT bug depth for --sampler pct (default: 3)",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=256, metavar="N",
+        help="schedules per target (default: 256)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=32, metavar="N",
+        help="schedules per engine task; the unit of parallel fan-out "
+        "and of checkpoint resume (default: 32)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root of the deterministic seed fan-out (default: 0)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=DEFAULT_MAX_STEPS, metavar="N",
+        help=f"schedule-length budget per run "
+        f"(default: {DEFAULT_MAX_STEPS})",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep the first violating trace as recorded "
+        "(skip delta debugging)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="run the whole campaign even after a violation "
+        "(default: stop after the first violating chunk)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; expiring mid-campaign reports the "
+        "partial evidence and exits 2",
+    )
+    parser.add_argument(
+        "--save-trace", default=None, metavar="FILE",
+        help="write the first violation's (shrunk) trace as canonical "
+        "JSON for --replay",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-execute a saved trace byte-identically and report its "
+        "verdict (ignores the campaign options)",
+    )
+    parser.add_argument(
+        "--expect-violation", action="store_true",
+        help="invert the verdict for CI: exit 0 iff a violation was "
+        "found (campaign) or reproduced (--replay)",
+    )
+    _add_engine_options(
+        parser,
+        workers_default=1,
+        workers_help="worker processes for batch fan-out "
+        "(default: 1 = serial; 0 = one per CPU)",
+        out_help="JSONL checkpoint: one canonical record per batch; "
+        "rerunning with the same file resumes an interrupted campaign",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed campaign on the naive baseline's seeded "
+        "violation (for CI; pair with --expect-violation)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in target_names():
+            print(name)
+        return 0
+
+    if args.replay:
+        try:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                text = handle.read().strip()
+            trace = loads_trace(text)
+        except (OSError, TraceFormatError) as exc:
+            print(f"fuzz: cannot load trace: {exc}", file=sys.stderr)
+            return 2
+        try:
+            target = get_target(trace.target)
+        except KeyError as exc:
+            print(f"fuzz: {exc}", file=sys.stderr)
+            return 2
+        try:
+            result = replay_trace(target, trace)
+        except ReplayMismatch as exc:
+            print(f"fuzz: replay diverged: {exc}", file=sys.stderr)
+            return 2
+        # Byte-identity is judged on canonical serializations, so an
+        # equivalent non-canonical encoding of the same trace (pretty-
+        # printed JSON) replays fine; only a diverging verdict fails.
+        identical = dumps_trace(result.trace) == dumps_trace(trace)
+        print(f"  target:   {trace.target}")
+        print(f"  decisions:{len(trace):>6}")
+        print(f"  recorded: {trace.verdict or 'clean'}")
+        print(f"  replayed: {result.verdict or 'clean'}")
+        print(f"  byte-identical re-execution: "
+              f"{'yes' if identical else 'NO'}")
+        if not identical:
+            print(
+                "fuzz: re-execution diverged from the recorded trace "
+                "(replayed verdict differs)",
+                file=sys.stderr,
+            )
+            return 2
+        violating = result.verdict is not None
+        if args.expect_violation:
+            return 0 if violating else 1
+        return 1 if violating else 0
+
+    if args.smoke:
+        overridden = [
+            flag
+            for flag, name in (
+                ("--target", "target"), ("--sampler", "sampler"),
+                ("--schedules", "schedules"), ("--batch", "batch"),
+                ("--seed", "seed"), ("--workers", "workers"),
+            )
+            if getattr(args, name) != parser.get_default(name)
+        ]
+        if overridden:
+            print(
+                "--smoke runs a fixed target with fixed settings and "
+                f"cannot be combined with {', '.join(overridden)}",
+                file=sys.stderr,
+            )
+            return 2
+        args.target = ["naive-crash-audit"]
+        args.schedules, args.batch, args.workers = 64, 16, 1
+        args.sampler, args.seed = "uniform", 0
+    names = args.target or [key for _, key in E13_SUITE]
+    unknown = [name for name in names if name not in target_names()]
+    if unknown:
+        print(
+            f"unknown fuzz target(s): {', '.join(unknown)} "
+            "(see python -m repro fuzz --list)",
+            file=sys.stderr,
+        )
+        return 2
+
+    sampler_params = {}
+    if args.sampler == "pct":
+        sampler_params["depth"] = args.pct_depth
+    workers = args.workers or os.cpu_count() or 1
+
+    def progress(done, total, record):
+        if done % 4 == 0 or done == total:
+            print(f"fuzz [{done}/{total} batches]",
+                  file=sys.stderr, flush=True)
+
+    try:
+        report = run_campaign(
+            names,
+            schedules=args.schedules,
+            batch=args.batch,
+            sampler=args.sampler,
+            sampler_params=sampler_params,
+            root_seed=args.seed,
+            max_steps=args.max_steps,
+            shrink=not args.no_shrink,
+            workers=workers,
+            checkpoint=args.out,
+            resume=not args.no_resume,
+            time_budget=args.time_budget,
+            stop_on_violation=not args.keep_going,
+            progress=progress,
+        )
+    except ValueError as exc:
+        # Bad knob values (--schedules 0, --pct-depth 0, ...) are
+        # usage errors (exit 2), never a "violation found" exit 1.
+        print(f"fuzz: {exc}", file=sys.stderr)
+        return 2
+
+    expected_batches = -(-args.schedules // args.batch)  # per target
+    by_target: dict = {}
+    batches_seen: dict = {}
+    for record in report.records:
+        payload = record["payload"]
+        row = by_target.setdefault(payload["target"], {
+            "target": payload["target"],
+            "sampler": payload["sampler"],
+            "schedules": 0,
+            "steps": 0,
+            "violations": 0,
+            "verdict": "PASS",
+        })
+        batches_seen[payload["target"]] = (
+            batches_seen.get(payload["target"], 0) + 1
+        )
+        row["schedules"] += payload["schedules"]
+        row["steps"] += payload["steps"]
+        row["violations"] += payload["violations"]
+        if payload["violations"]:
+            row["verdict"] = "FAIL"
+    rows = list(by_target.values())
+    if report.partial or report.stopped_early:
+        # Only targets whose batches were actually cut short (by the
+        # time budget or by stopping at another target's violation)
+        # are PARTIAL; a target that finished keeps its complete
+        # verdict.
+        for row in rows:
+            incomplete = batches_seen[row["target"]] < expected_batches
+            if row["verdict"] == "PASS" and incomplete:
+                row["verdict"] = "PARTIAL"
+    if rows:
+        print(render_table(rows))
+        print()
+    first = report.first_violation
+    if first is not None:
+        shrunk = first["shrunk"] or first["trace"]
+        print(
+            f"  violation [{first['target']}]: {first['verdict']}"
+        )
+        print(
+            f"  trace: {first['trace_len']} decisions"
+            + (
+                f", shrunk to {first['shrunk_len']} "
+                f"({first['shrink_checks']} oracle checks)"
+                if first["shrunk"] else " (shrinking disabled)"
+            )
+        )
+        if args.save_trace:
+            from repro.fuzz import trace_from_payload
+
+            with open(args.save_trace, "w", encoding="utf-8") as handle:
+                handle.write(dumps_trace(trace_from_payload(shrunk)))
+                handle.write("\n")
+            print(f"  counterexample trace: {args.save_trace}")
+    mark = (
+        "FAIL" if report.violations
+        else ("PARTIAL" if report.partial else "PASS")
+    )
+    print(
+        f"  [{mark}] {report.schedules} schedules "
+        f"({report.steps} decisions, {report.incomplete} hit the step "
+        f"budget) across {len(report.records)} batches in "
+        f"{report.elapsed:.2f}s with {report.workers} worker(s); "
+        f"{report.violations} violating schedule(s)"
+    )
+    if report.checkpoint:
+        print(f"  records: {report.checkpoint}")
+    code = report.exit_code
+    if args.expect_violation:
+        return 0 if code == 1 else (code or 1)
+    return code
+
+
 def _stress(argv) -> int:
     """The ``stress`` subcommand: real threads through ``repro.rt``."""
     import argparse
@@ -713,6 +1023,8 @@ def main(argv=None) -> int:
         return _sweep(rest)
     if command == "check":
         return _check(rest)
+    if command == "fuzz":
+        return _fuzz(rest)
     if command == "stress":
         return _stress(rest)
     if command == "lin":

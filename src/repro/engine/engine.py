@@ -205,6 +205,7 @@ def run_tasks(
     resume: bool = True,
     progress: Optional[ProgressFn] = None,
     chunksize: Optional[int] = None,
+    limit: Optional[int] = None,
 ) -> EngineReport:
     """Run ``fn(seed, **params)`` for every task; return ordered records.
 
@@ -214,6 +215,13 @@ def run_tasks(
     ``resume=True`` skips exactly the tasks whose records are already
     present and valid.  The final file is rewritten atomically in index
     order, so its bytes depend only on the task list, never on timing.
+
+    ``limit`` caps how many *pending* tasks this call executes (in
+    index order); resumed records never count against it and are never
+    dropped, so callers can drive a long task list in deterministic
+    slices (the fuzz campaign's stop-on-violation loop) while the
+    checkpoint keeps every completed record.  With a limit the report's
+    ``records`` cover only the tasks completed so far.
     """
     tasks = sorted(tasks, key=lambda t: t.index)
     if len({t.index for t in tasks}) != len(tasks):
@@ -225,6 +233,8 @@ def run_tasks(
         done = _load_checkpoint(checkpoint, tasks)
 
     pending = [task for task in tasks if task.index not in done]
+    if limit is not None:
+        pending = pending[:limit]
     records: Dict[int, Dict[str, Any]] = dict(done)
 
     stream = None
@@ -268,7 +278,9 @@ def run_tasks(
         if stream is not None:
             stream.close()
 
-    ordered = [records[task.index] for task in tasks]
+    ordered = [
+        records[task.index] for task in tasks if task.index in records
+    ]
     if checkpoint:
         # Canonicalize: index order, one record per task, atomic.
         _write_checkpoint(checkpoint, ordered)

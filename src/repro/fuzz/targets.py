@@ -1,0 +1,220 @@
+"""Fuzz targets: named systems the schedule fuzzer can attack.
+
+Contract
+--------
+
+A :class:`FuzzTarget` wraps a scenario builder -- the same
+``() -> (factory, check)`` shape as :mod:`repro.mc.scenarios` -- with
+fuzz-specific policy: whether crash injection is armed, which pids are
+crash-eligible and how many crashes a run may spend, and whether the
+catalogue *knows* the target violates (CI's fuzz-smoke job and the
+acceptance tests iterate over exactly the known-violating targets).
+
+Every registered model-checking scenario is automatically a fuzz
+target (crash injection off), so ``repro fuzz`` and ``repro check``
+speak the same catalogue: what the checker proves exhaustively on
+small instances, the fuzzer samples on instances the checker cannot
+enumerate.  Fuzz-only targets add what exhaustive exploration cannot
+express -- crash faults as schedule decisions, via the
+:class:`repro.sim.scheduler.CrashDecision` hook.
+
+The flagship fuzz-only target is ``naive-crash-audit``: the
+deliberately leaky "initial design" of Section 3.1
+(:mod:`repro.baselines.naive_auditable`).  Its oracle checks the
+paper's partial-auditing complaint mechanically: every value a reader
+*learned* from a plaintext ``R`` word must be covered by the post-hoc
+audit.  Two distinct schedule shapes violate it -- a reader crashed
+between its first ``R.read`` and its compare&swap (the
+crash-simulating attack), and a reader whose failed CAS retry means it
+learned a value the audit never reports.  Algorithm 1 passes the same
+oracle by construction: the only primitive that reveals a value is the
+fetch&xor that simultaneously logs the access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+TargetBuilder = Callable[[], Tuple[Callable, Callable]]
+
+
+@dataclass(frozen=True)
+class FuzzTarget:
+    """A named scenario plus the fuzzing policy applied to it.
+
+    The crash policy below governs *sampling*: which crash decisions
+    the samplers may draw while searching.  The shrinker is not bound
+    by it -- crash-stop is a legal behavior of the asynchronous model
+    for every process, so minimization may crash any process to
+    discharge work irrelevant to a violation, and soundness rests on
+    re-executing each candidate against the oracle, never on the
+    sampling policy (see :mod:`repro.fuzz.shrinker`).
+    """
+
+    name: str
+    builder: TargetBuilder
+    #: Crash injection armed for this target (sampling-time).
+    crashes: bool = False
+    #: pid prefixes eligible for injected crashes (empty = all pids).
+    crashable: Tuple[str, ...] = ()
+    #: Injected-crash budget per run (sampling-time).
+    max_crashes: int = 1
+    #: The catalogue knows schedules of this target violate its oracle.
+    expect_violation: bool = False
+    description: str = ""
+
+    def build(self) -> Tuple[Callable, Callable]:
+        return self.builder()
+
+    def crash_eligible(self, pid: str) -> bool:
+        if not self.crashes:
+            return False
+        if not self.crashable:
+            return True
+        return pid.startswith(self.crashable)
+
+
+_REGISTRY: Dict[str, FuzzTarget] = {}
+
+
+def register_target(target: FuzzTarget) -> FuzzTarget:
+    _REGISTRY[target.name] = target
+    return target
+
+
+def get_target(name: str) -> FuzzTarget:
+    """Resolve a fuzz target: fuzz-only names first, then any
+    model-checking scenario by its registry name."""
+    target = _REGISTRY.get(name)
+    if target is not None:
+        return target
+    from repro.mc.scenarios import get_scenario, scenario_names
+
+    if name in scenario_names():
+        return FuzzTarget(
+            name=name,
+            builder=get_scenario(name),
+            expect_violation=name.startswith("buggy-"),
+            description=f"model-checking scenario {name!r}",
+        )
+    known = ", ".join(target_names())
+    raise KeyError(f"unknown fuzz target {name!r}; registered: {known}")
+
+
+def target_names() -> List[str]:
+    from repro.mc.scenarios import scenario_names
+
+    return sorted(set(_REGISTRY) | set(scenario_names()))
+
+
+def violating_target_names() -> List[str]:
+    """The catalogue's known-violating targets (CI smoke + acceptance)."""
+    return sorted(
+        name for name in target_names()
+        if get_target(name).expect_violation
+    )
+
+
+# ----------------------------------------------------------------------
+# naive-crash-audit: the Section 3.1 baseline under fault injection
+# ----------------------------------------------------------------------
+
+def naive_crash_scenario():
+    """Builder for the naive baseline's compromised-read oracle."""
+    from repro.baselines.naive_auditable import NaiveAuditableRegister
+    from repro.memory.base import BOTTOM
+    from repro.sim.runner import Simulation
+
+    def factory():
+        sim = Simulation()
+        reg = NaiveAuditableRegister(num_readers=2, initial="v0")
+        setup = reg.writer(sim.spawn("setup-writer"))
+        sim.add_program("setup-writer", [setup.write_op("secret")])
+        sim.run_process("setup-writer")
+        for j in range(2):
+            handle = reg.reader(sim.spawn(f"r{j}"), j)
+            sim.add_program(f"r{j}", [handle.read_op()])
+        writer = reg.writer(sim.spawn("w0"))
+        sim.add_program("w0", [writer.write_op("x1")])
+        return sim, reg
+
+    def check(sim, reg):
+        post = reg.auditor(sim.spawn(f"post-auditor-{sim.steps_taken}"))
+        sim.add_program(post.process.pid, [post.audit_op()])
+        sim.run_process(post.process.pid)
+        audited = sim.history.operations(pid=post.process.pid)[-1].result
+        problems = []
+        for j in range(reg.num_readers):
+            learned = {
+                event.result.val
+                for event in sim.history.primitive_events(
+                    pid=f"r{j}", obj_name=reg.R.name, primitive="read"
+                )
+                if event.result.val is not BOTTOM
+            }
+            unaudited = {
+                value for value in learned if (j, value) not in audited
+            }
+            if unaudited:
+                values = ", ".join(sorted(map(repr, unaudited)))
+                problems.append(
+                    f"audit-exactness failure: reader r{j} learned "
+                    f"{values} with no audit trace"
+                )
+        return "; ".join(problems) if problems else None
+
+    return factory, check
+
+
+register_target(FuzzTarget(
+    name="naive-crash-audit",
+    builder=naive_crash_scenario,
+    crashes=True,
+    crashable=("r",),
+    max_crashes=1,
+    expect_violation=True,
+    description=(
+        "Section 3.1 naive baseline: a reader crashed (or CAS-starved) "
+        "after learning a plaintext value escapes the audit"
+    ),
+))
+
+
+# The paper's design under the *same* oracle and fault model: crashes
+# are schedule decisions here too, but the fetch&xor that reveals a
+# value also logs it, so no schedule (crashing or not) violates.
+def alg1_crash_scenario():
+    from repro.mc.scenarios import register_scenario_factory
+
+    factory = register_scenario_factory(2, 1, 0, pre_write=True)
+
+    def check(sim, reg):
+        from repro.analysis import check_audit_exactness
+
+        # A post-hoc audit gives the exactness oracle a real audit to
+        # judge (without it the check is vacuous -- no audit
+        # operations, nothing to compare): Lemma 5 says it must report
+        # every read that became effective, *including* reads whose
+        # reader crashed after its announcing fetch&xor.
+        post = reg.auditor(sim.spawn(f"post-auditor-{sim.steps_taken}"))
+        sim.add_program(post.pid, [post.audit_op()])
+        sim.run_process(post.pid)
+        problems = check_audit_exactness(sim.history, reg)
+        return "; ".join(str(p) for p in problems) if problems else None
+
+    return factory, check
+
+
+register_target(FuzzTarget(
+    name="alg1-crash-audit",
+    builder=alg1_crash_scenario,
+    crashes=True,
+    crashable=("r",),
+    max_crashes=1,
+    expect_violation=False,
+    description=(
+        "Algorithm 1 under the crash-injecting fuzzer: audit "
+        "exactness holds on every sampled schedule"
+    ),
+))

@@ -1,0 +1,131 @@
+"""Schedule traces: one fuzzed execution as canonical, replayable JSON.
+
+Contract
+--------
+
+A :class:`ScheduleTrace` is the complete recipe for one fuzzed
+execution: the *target* name (resolving to a deterministic
+``(factory, check)`` pair, :mod:`repro.fuzz.targets`), the sampler
+name and seed that produced it, the *decision sequence* actually
+executed, and the verdict the oracle returned.  Because scenario
+factories are deterministic and every scheduling choice (including
+injected crashes) is recorded, replaying the decisions against a fresh
+system re-executes the run byte-identically: the re-recorded trace
+serializes to the same bytes as the original (asserted by
+``python -m repro fuzz --replay`` and the fuzz test suite).
+
+Decisions are ``("step", pid)`` -- step that process once through the
+runner's one-primitive-per-step protocol -- or ``("crash", pid)`` --
+crash it via the :class:`repro.sim.scheduler.CrashDecision` hook.  A
+trace whose decisions were recorded from a completed run is *closed*:
+after applying all decisions no process is runnable, so the oracle
+judges a complete execution.
+
+Serialization follows the repository's canonical-JSON conventions
+(PR 4's history codec, the engine's JSONL records): tagged structure,
+sorted keys, fixed separators -- equal traces always serialize to
+identical bytes, which is what makes "byte-identical replay" a
+checkable contract rather than a slogan.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+TRACE_FORMAT = "repro.fuzz.trace/1"
+
+#: Decision kinds a trace may contain.
+STEP = "step"
+CRASH = "crash"
+
+Decision = Tuple[str, str]  # (kind, pid)
+
+
+class TraceFormatError(ValueError):
+    """A payload does not decode to a valid schedule trace."""
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """One recorded fuzz execution (see module docstring)."""
+
+    target: str
+    seed: int
+    sampler: str
+    decisions: Tuple[Decision, ...] = field(default_factory=tuple)
+    verdict: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def with_decisions(
+        self,
+        decisions: Tuple[Decision, ...],
+        verdict: Optional[str] = None,
+    ) -> "ScheduleTrace":
+        return replace(self, decisions=tuple(decisions), verdict=verdict)
+
+
+def trace_to_payload(trace: ScheduleTrace) -> Dict[str, Any]:
+    """JSON-safe projection of a trace (canonical under sorted keys)."""
+    return {
+        "format": TRACE_FORMAT,
+        "target": trace.target,
+        "seed": trace.seed,
+        "sampler": trace.sampler,
+        "decisions": [[kind, pid] for kind, pid in trace.decisions],
+        "verdict": trace.verdict,
+    }
+
+
+def trace_from_payload(payload: Any) -> ScheduleTrace:
+    """Inverse of :func:`trace_to_payload`; validates the format tag."""
+    if not isinstance(payload, dict):
+        raise TraceFormatError("trace payload must be a JSON object")
+    if payload.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"unsupported trace format {payload.get('format')!r} "
+            f"(expected {TRACE_FORMAT!r})"
+        )
+    decisions = []
+    for entry in payload.get("decisions", ()):
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or entry[0] not in (STEP, CRASH)
+            or not isinstance(entry[1], str)
+        ):
+            raise TraceFormatError(f"bad decision entry {entry!r}")
+        decisions.append((entry[0], entry[1]))
+    verdict = payload.get("verdict")
+    if verdict is not None and not isinstance(verdict, str):
+        raise TraceFormatError("trace verdict must be a string or null")
+    try:
+        return ScheduleTrace(
+            target=str(payload["target"]),
+            seed=int(payload["seed"]),
+            sampler=str(payload.get("sampler", "replay")),
+            decisions=tuple(decisions),
+            verdict=verdict,
+        )
+    except KeyError as exc:
+        raise TraceFormatError(f"trace payload lacks {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(f"bad trace field: {exc}") from None
+
+
+def dumps_trace(trace: ScheduleTrace) -> str:
+    """Canonical JSON bytes of a trace (sorted keys, fixed separators)."""
+    return json.dumps(
+        trace_to_payload(trace), sort_keys=True, separators=(",", ":")
+    )
+
+
+def loads_trace(text: str) -> ScheduleTrace:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"not JSON: {exc}") from None
+    return trace_from_payload(payload)

@@ -22,6 +22,7 @@ parallel-frontier protocol.
 from repro.mc.explorer import (
     ExplorationBudgetExceeded,
     ExplorationReport,
+    configuration_fingerprint,
     count_interleavings,
     explore,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "ExplorationBudgetExceeded",
     "ExplorationReport",
     "StepInfo",
+    "configuration_fingerprint",
     "count_interleavings",
     "explore",
     "explore_parallel",

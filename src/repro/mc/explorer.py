@@ -69,6 +69,52 @@ Factory = Callable[[], Tuple[Simulation, Any]]
 Check = Callable[[Simulation, Any], Optional[str]]
 
 
+def configuration_fingerprint(
+    sim: Simulation, vault, extra: Tuple = ()
+) -> Tuple[int, Tuple]:
+    """``(stable_hash, exact components)`` of a live configuration.
+
+    The key covers every adopted shared object that left its birth
+    state plus, per process, the scheduler-visible control state
+    (program counter, replay log, pending primitive).  ``extra``
+    components are folded in verbatim (the explorer passes the Foata
+    factorisation of the past; the fuzzer passes nothing and uses the
+    key purely as a novelty signal for coverage-guided sampling).
+
+    Exposed at module level so :mod:`repro.fuzz` reuses the exact
+    fingerprint the model checker memoises on -- states the checker
+    would merge are states the fuzzer should not count as new coverage.
+    """
+    components: List[Any] = [vault.fingerprint_components()]
+    components.extend(extra)
+    for pid in sorted(sim.processes):
+        process = sim.processes[pid]
+        pending = None
+        if process.pending is not None:
+            target = process.pending.obj
+            obj_idx = vault.index_of(target)
+            if obj_idx is None:
+                obj_idx = vault.adopt(target)
+            pending = (
+                obj_idx,
+                process.pending.primitive,
+                vault.canon(process.pending.args),
+            )
+        components.append(
+            (
+                pid,
+                process.state.value,
+                process._next_op,
+                len(process._program),
+                process.steps_in_current_op,
+                vault.canon(list(process._replay_log)),
+                pending,
+            )
+        )
+    exact = tuple(components)
+    return stable_hash(exact), exact
+
+
 class ExplorationBudgetExceeded(RuntimeError):
     """The schedule tree is larger than the configured budget.
 
@@ -365,36 +411,9 @@ class _Explorer:
         swaps, so every completed execution below is pairwise
         equivalent -- cached verdicts and counts transfer exactly.
         """
-        vault = self.ckpt.vault
-        components: List[Any] = [
-            vault.fingerprint_components(), factors,
-        ]
-        for pid in sorted(self.sim.processes):
-            process = self.sim.processes[pid]
-            pending = None
-            if process.pending is not None:
-                target = process.pending.obj
-                obj_idx = vault.index_of(target)
-                if obj_idx is None:
-                    obj_idx = vault.adopt(target)
-                pending = (
-                    obj_idx,
-                    process.pending.primitive,
-                    vault.canon(process.pending.args),
-                )
-            components.append(
-                (
-                    pid,
-                    process.state.value,
-                    process._next_op,
-                    len(process._program),
-                    process.steps_in_current_op,
-                    vault.canon(list(process._replay_log)),
-                    pending,
-                )
-            )
-        exact = tuple(components)
-        return stable_hash(exact), exact
+        return configuration_fingerprint(
+            self.sim, self.ckpt.vault, extra=(factors,)
+        )
 
     def _memo_lookup(
         self, key: int, exact: Tuple, sleep: FrozenSet[StepInfo]

@@ -279,6 +279,183 @@ def max_scenario_check(sim, reg):
 
 
 # ----------------------------------------------------------------------
+# Deliberately buggy scenarios: known-violation regression targets
+# ----------------------------------------------------------------------
+#
+# These are *not* part of the E13 suite (the default `repro check` run
+# must stay green); they are registered so that the schedule fuzzer
+# (repro.fuzz), the model checker and CI smoke jobs share seeded bugs
+# with a known verdict.  The lost-update counter is the classic
+# non-linearizable object: increments implemented as a non-atomic
+# read-then-write race, and a post-hoc read observes the lost update.
+
+def buggy_counter_factory(incrementers=2, noise_readers=0, noise_ops=2):
+    """A counter whose ``update`` is a non-atomic read;write pair.
+
+    With >= 2 incrementers some interleavings lose an update; a
+    post-hoc read (appended by the check) then returns a total smaller
+    than the number of completed updates, which no linearization of
+    the counter spec can explain.  ``noise_readers`` add processes
+    spinning on an unrelated register, diluting the racy steps so the
+    violating interleavings become rarer (the fuzz benchmark's
+    time-to-first-violation ladder scales this knob).
+    """
+    from repro.memory.register import AtomicRegister
+    from repro.sim.process import Op
+
+    def factory():
+        sim = Simulation()
+        counter = AtomicRegister("counter", 0)
+        noise = AtomicRegister("noise", 0)
+
+        def increment(delta):
+            value = yield from counter.read()
+            yield from counter.write(value + delta)
+            return None
+
+        def spin():
+            for _ in range(noise_ops):
+                yield from noise.read()
+            return None
+
+        for i in range(incrementers):
+            sim.spawn(f"inc{i}")
+            sim.add_program(f"inc{i}", [Op("update", increment, (1,))])
+        for j in range(noise_readers):
+            sim.spawn(f"noise{j}")
+            sim.add_program(f"noise{j}", [Op("noise", spin)])
+        return sim, counter
+
+    return factory
+
+
+def buggy_counter_check(sim, counter):
+    """Fastlin oracle: the post-hoc read must see every update."""
+    from repro.analysis.fastlin import check_history
+    from repro.analysis.specs import counter_object_spec
+    from repro.sim.process import Op
+
+    def read_back():
+        value = yield from counter.read()
+        return value
+
+    pid = f"post-reader-{sim.steps_taken}"
+    sim.spawn(pid)
+    sim.add_program(pid, [Op("read", read_back)])
+    sim.run_process(pid)
+    ops = [
+        op
+        for op in sim.history.complete_operations()
+        if op.name in ("update", "read")
+    ]
+    result = check_history(ops, counter_object_spec())
+    if result.undecided:
+        return "linearizability undecided (node budget exhausted)"
+    if not result.ok:
+        return "not linearizable"
+    return None
+
+
+def buggy_maxreg_factory(values=(5, 3), noise_readers=0, noise_ops=2):
+    """A max register whose ``write_max`` is a non-atomic read;test;write.
+
+    The violating interleavings need a depth-2 ordering (the small
+    writer's read before the large writer's install, its write after),
+    so they are rarer than the counter's lost update -- the shape the
+    PCT sampler's change points are built for.
+    """
+    from repro.memory.register import AtomicRegister
+    from repro.sim.process import Op
+
+    def factory():
+        sim = Simulation()
+        reg = AtomicRegister("maxreg", 0)
+        noise = AtomicRegister("noise", 0)
+
+        def write_max(value):
+            current = yield from reg.read()
+            if value > current:
+                yield from reg.write(value)
+            return None
+
+        def spin():
+            for _ in range(noise_ops):
+                yield from noise.read()
+            return None
+
+        for i, value in enumerate(values):
+            sim.spawn(f"w{i}")
+            sim.add_program(f"w{i}", [Op("write_max", write_max, (value,))])
+        for j in range(noise_readers):
+            sim.spawn(f"noise{j}")
+            sim.add_program(f"noise{j}", [Op("noise", spin)])
+        return sim, reg
+
+    return factory
+
+
+def buggy_maxreg_check(sim, reg):
+    """Fastlin oracle against the max-register spec."""
+    from repro.analysis.fastlin import check_history
+    from repro.analysis.specs import max_register_spec
+    from repro.sim.process import Op
+
+    def read_back():
+        value = yield from reg.read()
+        return value
+
+    pid = f"post-reader-{sim.steps_taken}"
+    sim.spawn(pid)
+    sim.add_program(pid, [Op("read", read_back)])
+    sim.run_process(pid)
+    ops = [
+        op
+        for op in sim.history.complete_operations()
+        if op.name in ("write_max", "read")
+    ]
+    result = check_history(ops, max_register_spec(0))
+    if result.undecided:
+        return "linearizability undecided (node budget exhausted)"
+    if not result.ok:
+        return "not linearizable"
+    return None
+
+
+@register_scenario("buggy-counter")
+def _buggy_counter():
+    # One noise process keeps the minimal counterexample strictly
+    # below the full run length (the shrinker crashes the noise away).
+    return (
+        buggy_counter_factory(2, noise_readers=1, noise_ops=1),
+        buggy_counter_check,
+    )
+
+
+@register_scenario("buggy-counter-deep")
+def _buggy_counter_deep():
+    return (
+        buggy_counter_factory(2, noise_readers=2, noise_ops=2),
+        buggy_counter_check,
+    )
+
+
+@register_scenario("buggy-maxreg")
+def _buggy_maxreg():
+    return (
+        buggy_maxreg_factory(noise_readers=1, noise_ops=1),
+        buggy_maxreg_check,
+    )
+
+
+@register_scenario("buggy-maxreg-deep")
+def _buggy_maxreg_deep():
+    return (
+        buggy_maxreg_factory(noise_readers=2, noise_ops=3),
+        buggy_maxreg_check,
+    )
+
+
+# ----------------------------------------------------------------------
 # The registry: the E13 suite plus CLI-facing names
 # ----------------------------------------------------------------------
 

@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 from repro.sim.events import PendingPrimitive
 from repro.sim.history import History
 from repro.sim.process import Op, Process, ProcessState
-from repro.sim.scheduler import RoundRobinSchedule, Schedule
+from repro.sim.scheduler import CrashDecision, RoundRobinSchedule, Schedule
 
 
 def drive_to_suspension(
@@ -155,8 +155,13 @@ class Simulation:
                 f"{[p.pid for p in runnable]}"
             )
         self._steps_taken += 1
-        process = self.schedule.choose(runnable, self._steps_taken)
-        self._advance(process)
+        chosen = self.schedule.choose(runnable, self._steps_taken)
+        if isinstance(chosen, CrashDecision):
+            # The schedule-injection hook for fault-exploring adversaries
+            # (repro.fuzz): the step is consumed by the crash.
+            self.crash(chosen.pid)
+            return True
+        self._advance(chosen)
         return True
 
     def step_process(self, pid: str) -> bool:

@@ -16,6 +16,12 @@ Provided policies:
 - :class:`InterposingSchedule` -- schedules a victim process until it is
   about to apply a primitive matching a predicate, then lets attackers
   run; used to build worst-case write-retry executions (Lemma 2's bound).
+
+Fault injection rides on the same seam: instead of a process to step, a
+schedule's ``choose`` may return :class:`CrashDecision` and the runner
+crashes that process at this step.  This makes crash faults part of the
+schedule space an adversary (in particular the fuzzer, :mod:`repro.fuzz`)
+explores, rather than something experiments must script by hand.
 """
 
 from __future__ import annotations
@@ -46,8 +52,31 @@ def ordered_by_pid(runnable: List[Process]) -> List[Process]:
     return runnable
 
 
+class CrashDecision:
+    """A schedule decision that crashes a process instead of stepping one.
+
+    When ``Schedule.choose`` returns ``CrashDecision(pid)``, the runner
+    calls :meth:`repro.sim.runner.Simulation.crash` on that process and
+    the step is consumed by the crash.  The pid must name an existing,
+    not-yet-crashed process (it need not be runnable: crashing an idle
+    process models a stop between operations).
+    """
+
+    __slots__ = ("pid",)
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrashDecision({self.pid!r})"
+
+
 class Schedule:
-    """Base class: pick the next process to step."""
+    """Base class: pick the next process to step.
+
+    ``choose`` returns either a :class:`~repro.sim.process.Process` from
+    the runnable list or a :class:`CrashDecision` (fault injection).
+    """
 
     def choose(self, runnable: List[Process], step_index: int) -> Process:
         raise NotImplementedError
