@@ -1,10 +1,15 @@
-"""B9 -- thread-runtime throughput: real-hardware numbers at last.
+"""B9 -- thread- and process-runtime throughput: real-hardware numbers.
 
 Until the runtime abstraction layer, every number in the perf
 trajectory was simulator steps/second.  This benchmark runs Algorithm 1
 on the thread runtime (``repro.rt``) across a thread-count ladder and
 records genuine ops/sec and latency percentiles, next to the
 single-threaded simulator rate on an equivalent workload for context.
+A matching worker-count ladder on the process runtime (one OS process
+per worker, primitives served by a memory-server process over pipes)
+records what message-passing execution costs and buys: on a multi-core
+host it scales past the GIL; on few cores it is bound by IPC
+round-trips, which is why ``cpu_count`` is part of the record.
 
 Results land in ``BENCH_rt.json`` at the repository root (canonical
 JSON, no wall-clock-independent fields stripped -- this file *is* the
@@ -18,6 +23,7 @@ meaningless.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -27,6 +33,7 @@ from repro.workloads.generators import RegisterWorkload, build_register_system
 OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_rt.json"
 OPS_PER_THREAD = 50
 THREAD_LADDER = (1, 2, 4, 8)
+PROCESS_LADDER = (1, 2, 4, 8)
 
 
 def _sim_baseline_ops_per_sec() -> float:
@@ -72,12 +79,35 @@ def test_bench_thread_throughput(benchmark):
     )
     sim_rate = _sim_baseline_ops_per_sec()
 
+    process_ladder = {}
+    for workers in PROCESS_LADDER:
+        report = run_stress(
+            "register", threads=workers, ops=OPS_PER_THREAD, seed=0,
+            runtime="process",
+        )
+        assert report.validated and report.ok, (
+            f"process stress history failed validation at {workers} workers"
+        )
+        process_ladder[str(workers)] = report.to_payload()
+        benchmark.extra_info[f"ops_per_sec_{workers}p"] = round(
+            report.ops_per_sec, 1
+        )
+    # Sustained (duration-bound) process rate: op-count runs this small
+    # are dominated by process start-up, so the ladder above measures
+    # validated correctness-at-scale while this measures throughput.
+    process_sustained = run_stress(
+        "register", threads=8, ops=None, duration=1.0, runtime="process"
+    )
+
     payload = {
         "bench": "b9_thread_throughput",
         "object": "register",
         "ops_per_thread": OPS_PER_THREAD,
+        "cpu_count": os.cpu_count(),
         "thread_scaling": ladder,
+        "process_scaling": process_ladder,
         "sustained_8t_unvalidated": sustained.to_payload(),
+        "sustained_8p_unvalidated": process_sustained.to_payload(),
         "sim_baseline_ops_per_sec": round(sim_rate, 1),
     }
     OUT_PATH.write_text(

@@ -730,24 +730,32 @@ def _stress(argv) -> int:
     """The ``stress`` subcommand: real threads through ``repro.rt``."""
     import argparse
 
-    from repro.rt import STRESS_OBJECTS, run_stress
+    from repro.rt import STRESS_OBJECTS, STRESS_RUNTIMES, run_stress
 
     parser = argparse.ArgumentParser(
         prog="python -m repro stress",
-        description="Run writer/reader/auditor threads against an "
-        "auditable object on the thread runtime, for an op-count budget "
-        "and/or a wall-clock duration.  Reports ops/sec and latency "
-        "percentiles; for bounded budgets the recorded history is "
-        "post-validated by the linearizability checker (and, where the "
-        "syntactic oracle applies, audit exactness).",
+        description="Run writer/reader/auditor workers against an "
+        "auditable object on the thread runtime (one OS thread per "
+        "worker) or the process runtime (one OS process per worker, "
+        "primitives served by a memory-server process), for an op-count "
+        "budget and/or a wall-clock duration.  Reports ops/sec and "
+        "latency percentiles; for bounded budgets the recorded history "
+        "is post-validated by the linearizability checker (and, where "
+        "the syntactic oracle applies, audit exactness).",
     )
     parser.add_argument(
         "--object", choices=STRESS_OBJECTS, default="register",
         help="which object to stress (default: register)",
     )
     parser.add_argument(
+        "--runtime", choices=STRESS_RUNTIMES, default="thread",
+        help="execution backend: 'thread' (default) or 'process' "
+        "(multiprocessing memory server; scales past the GIL on "
+        "multi-core hosts)",
+    )
+    parser.add_argument(
         "--threads", type=int, default=8, metavar="N",
-        help="total thread budget, split readers/writers/auditors "
+        help="total worker budget, split readers/writers/auditors "
         "(default: 8); --readers/--writers/--auditors override",
     )
     parser.add_argument("--readers", type=int, default=None, metavar="N")
@@ -786,8 +794,8 @@ def _stress(argv) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="small fixed run (register, 4 threads, 8 ops/thread, "
-        "validated) for CI",
+        help="small fixed run (register, 4 workers, 8 ops/worker, "
+        "validated) for CI; combines with --runtime",
     )
     args = parser.parse_args(argv)
 
@@ -809,6 +817,7 @@ def _stress(argv) -> int:
             duration=args.duration,
             seed=args.seed,
             validate=args.validate,
+            runtime=args.runtime,
         )
     except ValueError as exc:
         print(f"stress: {exc}", file=sys.stderr)

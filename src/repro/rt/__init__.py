@@ -7,30 +7,56 @@
 - :class:`ThreadRuntime` — one real OS thread per process, per-object
   locks around :meth:`~repro.memory.base.BaseObject.apply`, thread-safe
   monotonically-indexed history (:mod:`repro.rt.thread_runtime`).
+- :class:`ProcessRuntime` — one real OS process per process, primitives
+  applied over message channels by a memory-server process; network
+  faults (:class:`FaultPlan`) injectable on the same schedule-decision
+  seam as the fuzzer's crashes (:mod:`repro.rt.process_runtime`).
 - :func:`run_stress` — the stress/throughput harness behind
   ``python -m repro stress`` (:mod:`repro.rt.stress`).
 """
 
 from repro.rt.base import Runtime, make_runtime
+from repro.rt.process_runtime import (
+    CrashedByServer,
+    FaultPlan,
+    ObjectRegistry,
+    PidRef,
+    ProcessRuntime,
+    ScriptedFaultPlan,
+    SeededFaultPlan,
+)
 from repro.rt.sim_runtime import SimRuntime
 from repro.rt.stress import (
     STRESS_OBJECTS,
+    STRESS_RUNTIMES,
     StressReport,
+    build_stress_register,
     percentile_summary,
     run_stress,
     split_threads,
+    stress_op_source,
 )
 from repro.rt.thread_runtime import ThreadProcess, ThreadRuntime
 
 __all__ = [
+    "CrashedByServer",
+    "FaultPlan",
+    "ObjectRegistry",
+    "PidRef",
+    "ProcessRuntime",
     "Runtime",
     "STRESS_OBJECTS",
+    "STRESS_RUNTIMES",
+    "ScriptedFaultPlan",
+    "SeededFaultPlan",
     "SimRuntime",
     "StressReport",
     "ThreadProcess",
     "ThreadRuntime",
+    "build_stress_register",
     "make_runtime",
     "percentile_summary",
     "run_stress",
     "split_threads",
+    "stress_op_source",
 ]

@@ -14,14 +14,19 @@ A :class:`Runtime` is anything that honours those two contracts: it
 spawns processes, drives their operation generators, applies each
 yielded primitive atomically, and records a monotonically-indexed
 history that the analysis oracles (linearizability, audit exactness,
-effectiveness) consume unchanged.  Two backends ship:
+effectiveness) consume unchanged.  Three backends ship:
 
 - :class:`~repro.rt.sim_runtime.SimRuntime` — the deterministic
   single-threaded simulator (:mod:`repro.sim`), byte-identical to
   driving a :class:`~repro.sim.runner.Simulation` directly;
 - :class:`~repro.rt.thread_runtime.ThreadRuntime` — one real OS thread
   per process, primitives serialized by per-object locks, history
-  indices allocated under a dedicated history lock.
+  indices allocated under a dedicated history lock;
+- :class:`~repro.rt.process_runtime.ProcessRuntime` — one real OS
+  process per process, primitives applied over message channels by a
+  memory-server process that owns the objects and the history (true
+  multi-core parallelism; network faults injectable on the schedule
+  decision seam).
 
 Handles (readers/writers/auditors/scanners) consume only the spawned
 process's ``pid``, so algorithm code runs unmodified on either backend.
@@ -44,7 +49,7 @@ class Runtime(abc.ABC):
     ``run`` executes everything and returns the recorded history.
     """
 
-    #: Backend discriminator ("sim" or "thread").
+    #: Backend discriminator ("sim", "thread" or "process").
     kind: str = "abstract"
 
     @abc.abstractmethod
@@ -76,15 +81,21 @@ def make_runtime(
     schedule: Optional[Any] = None,
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
+    build: Optional[Any] = None,
+    build_args: tuple = (),
+    faults: Optional[Any] = None,
 ) -> Runtime:
     """Construct a runtime backend by name.
 
     ``schedule``/``seed``/``max_steps`` configure the simulator backend
     (``seed`` selects a :class:`~repro.sim.scheduler.RandomSchedule`
-    when no explicit schedule is given).  The thread backend takes
-    interleavings from the OS scheduler, so those options are accepted
-    but ignored for it — callers can pass one configuration to either
-    backend.
+    when no explicit schedule is given).  The thread and process
+    backends take interleavings from the OS, so those options are
+    accepted but ignored for them — callers can pass one configuration
+    to any backend.  ``build``/``build_args``/``faults`` configure the
+    process backend (the picklable system builder every process replays,
+    and an optional :class:`~repro.rt.process_runtime.FaultPlan`); they
+    are ignored by the others.
     """
     if kind == "sim":
         from repro.rt.sim_runtime import SimRuntime
@@ -99,4 +110,13 @@ def make_runtime(
         from repro.rt.thread_runtime import ThreadRuntime
 
         return ThreadRuntime()
-    raise ValueError(f"unknown runtime kind {kind!r} (sim|thread)")
+    if kind == "process":
+        from repro.rt.process_runtime import ProcessRuntime
+
+        if build is None:
+            raise ValueError(
+                "the process runtime needs a picklable system builder: "
+                "make_runtime('process', build=..., build_args=...)"
+            )
+        return ProcessRuntime(build, build_args, faults=faults)
+    raise ValueError(f"unknown runtime kind {kind!r} (sim|thread|process)")

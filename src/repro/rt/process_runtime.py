@@ -1,0 +1,717 @@
+"""The process backend: shared memory served over message channels.
+
+Each algorithm process runs in its own OS process — true multi-core
+parallelism past the GIL — and owns nothing but its operation
+generators.  Every shared-memory access crosses a message channel
+(multiprocessing pipes) to a single **memory-server process** that owns
+the authoritative base objects and the monotonically-indexed
+:class:`~repro.sim.history.History`, in the spirit of
+shared-memory-over-network systems (M&M systems, remote memory access).
+
+The two contracts of the model hold by construction:
+
+1. **Primitive atomicity.**  The server applies primitives strictly
+   serially, in message-arrival order, through the existing
+   :meth:`~repro.memory.base.BaseObject.apply`.  Per-object event order
+   in the log therefore *is* true application order — the property the
+   audit-exactness oracle relies on.
+2. **An order-faithful history.**  Worker channels are FIFO, and every
+   worker sends its invocation record before its first primitive
+   request and its response record after its last primitive reply.  So
+   a recorded real-time precedence (response index below invocation
+   index) implies the earlier operation's primitives were all applied
+   before any of the later operation's — the linearizability checker
+   never sees a constraint that did not hold in the true serialization
+   at the server.
+
+**Replicas, not shared state.**  Workers and the server each build
+their *own* copy of the object graph from a picklable ``build``
+callable.  Worker replicas exist only so algorithm generators can be
+constructed and run their local computation; their ``apply`` is never
+called — each yielded primitive is shipped by object *name* to the
+server, which resolves it against the authoritative replica (lazily
+materialised array/matrix cells included) and returns the result.
+This is why programs are given as picklable *factories* rather than
+closed-over :class:`~repro.sim.process.Op` lists: the worker must be
+able to rebuild them on its side of the fork/spawn boundary.
+
+**Faults are schedule decisions.**  Before applying a primitive the
+server consults an optional :class:`FaultPlan`, which may return the
+same :class:`~repro.sim.scheduler.CrashDecision` the fuzzer's schedule
+adversaries emit (crash the process mid-operation; its pending
+operation stays pending, exactly like a simulator crash) or a
+:class:`~repro.sim.scheduler.DelayDecision` (hold the request while
+later-arriving messages from other processes are served first —
+network delay and reorder as one seam).
+
+Determinism matches the thread backend: values, pads and nonces replay
+from the seed; interleavings come from OS scheduling and message
+arrival order.  Seeded schedule replay remains the simulator's job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import re
+import time
+import traceback
+from multiprocessing.connection import wait as conn_wait
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._seeding import stable_hash
+from repro.memory.array import BitMatrix, RegisterArray
+from repro.memory.base import BaseObject
+from repro.rt.base import Runtime
+from repro.sim.history import History
+from repro.sim.process import Op
+from repro.sim.runner import drive_op
+from repro.sim.scheduler import CrashDecision, DelayDecision
+
+#: Default seconds granted past any --duration before a stuck worker,
+#: server or channel is declared hung and the run is torn down.
+DEFAULT_WATCHDOG = 60.0
+
+
+class CrashedByServer(Exception):
+    """The memory server crashed this process mid-operation."""
+
+
+# -- fault plans (the schedule-decision seam, server side) --------------------
+
+
+class FaultPlan:
+    """Decides, per primitive request, whether to inject a fault.
+
+    ``decide`` sees the 1-based arrival index of the primitive request,
+    the requesting pid, and the primitive about to be applied; it
+    returns ``None`` (apply normally), a
+    :class:`~repro.sim.scheduler.CrashDecision` (crash that process at
+    its next primitive — immediately when it names the requester) or a
+    :class:`~repro.sim.scheduler.DelayDecision` (hold this request
+    while other processes' messages are served).  Plans must be
+    picklable: they ship to the memory-server process at spawn.
+    """
+
+    def decide(
+        self, step: int, pid: str, obj_name: str, primitive: str
+    ) -> Optional[Any]:
+        return None
+
+
+class ScriptedFaultPlan(FaultPlan):
+    """Deterministic faults keyed by primitive-arrival index.
+
+    ``decisions`` maps a 1-based step index to a decision.  With a
+    single worker the arrival order is the program order, so scripted
+    plans give byte-reproducible crash/delay regressions.
+    """
+
+    def __init__(self, decisions: Dict[int, Any]) -> None:
+        self.decisions = dict(decisions)
+
+    def decide(
+        self, step: int, pid: str, obj_name: str, primitive: str
+    ) -> Optional[Any]:
+        return self.decisions.get(step)
+
+
+class SeededFaultPlan(FaultPlan):
+    """Seeded random faults, derived statelessly per (seed, step, pid).
+
+    ``crash_per_10k``/``delay_per_10k`` are per-request probabilities in
+    basis points (out of 10000); at most ``max_crashes`` processes are
+    crashed.  Decisions hash the request coordinates, so a plan is a
+    pure value: pickling it mid-campaign cannot change what it injects.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        crash_per_10k: int = 0,
+        delay_per_10k: int = 0,
+        delay_steps: int = 4,
+        max_crashes: int = 1,
+    ) -> None:
+        self.seed = seed
+        self.crash_per_10k = crash_per_10k
+        self.delay_per_10k = delay_per_10k
+        self.delay_steps = delay_steps
+        self.max_crashes = max_crashes
+        self._crashes = 0
+
+    def decide(
+        self, step: int, pid: str, obj_name: str, primitive: str
+    ) -> Optional[Any]:
+        draw = stable_hash("fault-plan", self.seed, step, pid) % 10_000
+        if draw < self.crash_per_10k and self._crashes < self.max_crashes:
+            self._crashes += 1
+            return CrashDecision(pid)
+        if draw - self.crash_per_10k < self.delay_per_10k:
+            return DelayDecision(pid, steps=self.delay_steps)
+        return None
+
+
+# -- the server's object registry ---------------------------------------------
+
+_MATRIX_CELL = re.compile(r"^(.*)\[(\d+)\]\[(\d+)\]$")
+_ARRAY_CELL = re.compile(r"^(.*)\[(\d+)\]$")
+
+
+class ObjectRegistry:
+    """Resolve primitive targets by name on the authoritative replica.
+
+    Objects are discovered by walking the built system's attribute
+    graph (into ``repro``-defined instances and plain containers).
+    Array and matrix cells are materialised lazily on the paper's
+    model, so ``areg.V[3]`` resolves through its parent container on
+    first use; every resolution is cached.
+    """
+
+    def __init__(self, root: Any) -> None:
+        self._objects: Dict[str, Any] = {}
+        self._arrays: Dict[str, RegisterArray] = {}
+        self._matrices: Dict[str, BitMatrix] = {}
+        self._walk(root)
+
+    def _walk(self, root: Any) -> None:
+        seen = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, BaseObject):
+                self._objects.setdefault(node.name, node)
+            elif isinstance(node, RegisterArray):
+                self._arrays.setdefault(node.name, node)
+            elif isinstance(node, BitMatrix):
+                self._matrices.setdefault(node.name, node)
+            if isinstance(node, dict):
+                stack.extend(node.values())
+            elif isinstance(node, (list, tuple, set, frozenset)):
+                stack.extend(node)
+            elif type(node).__module__.startswith("repro"):
+                stack.extend(getattr(node, "__dict__", {}).values())
+                for klass in type(node).__mro__:
+                    slots = getattr(klass, "__slots__", ())
+                    for slot in (slots,) if isinstance(slots, str) else slots:
+                        if hasattr(node, slot):
+                            stack.append(getattr(node, slot))
+
+    def resolve(self, name: str) -> Any:
+        obj = self._objects.get(name)
+        if obj is not None:
+            return obj
+        match = _MATRIX_CELL.match(name)
+        if match and match.group(1) in self._matrices:
+            matrix = self._matrices[match.group(1)]
+            cell = matrix[int(match.group(2)), int(match.group(3))]
+            self._objects[name] = cell
+            return cell
+        match = _ARRAY_CELL.match(name)
+        if match and match.group(1) in self._arrays:
+            cell = self._arrays[match.group(1)][int(match.group(2))]
+            self._objects[name] = cell
+            return cell
+        raise KeyError(
+            f"memory server owns no object named {name!r} "
+            f"(known: {sorted(self._objects) + sorted(self._arrays) + sorted(self._matrices)})"
+        )
+
+
+# -- worker process -----------------------------------------------------------
+
+
+class PidRef:
+    """Minimal process reference: handle factories consume only ``pid``."""
+
+    __slots__ = ("pid",)
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PidRef({self.pid!r})"
+
+
+def _worker_main(
+    conn,
+    pid: str,
+    build,
+    build_args: Tuple[Any, ...],
+    spec: Dict[str, Any],
+    duration: Optional[float],
+    record_latency: bool,
+    barrier,
+) -> None:
+    """One algorithm process: build the replica, stream the protocol.
+
+    One-way records (invocation, response) are buffered and piggybacked
+    onto the next primitive request (or the final ``done``), so the
+    channel FIFO preserves their order while each primitive costs a
+    single round-trip.
+    """
+    latencies: List[Tuple[str, str, float]] = []
+    error: Optional[str] = None
+    outbox: List[Tuple[Any, ...]] = []
+
+    def apply_over_channel(pending):
+        outbox.append(
+            ("prim", pending.obj.name, pending.primitive, pending.args)
+        )
+        conn.send(outbox[:])
+        del outbox[:]
+        reply = conn.recv()
+        if reply[0] == "ok":
+            return reply[1]
+        if reply[0] == "crash":
+            raise CrashedByServer(pid)
+        raise RuntimeError(f"memory server rejected a primitive: {reply[1]}")
+
+    try:
+        system = build(*build_args)
+        program: List[Op] = []
+        source = None
+        budget = spec.get("max_ops")
+        factory = spec["factory"]
+        args = spec.get("args", ())
+        if spec["kind"] == "program":
+            program = list(factory(system, pid, *args))
+        else:
+            source = factory(system, pid, *args)
+        barrier.wait(timeout=DEFAULT_WATCHDOG)
+        deadline = None if duration is None else time.monotonic() + duration
+        op_id = 0
+        next_in_program = 0
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if next_in_program < len(program):
+                op = program[next_in_program]
+                next_in_program += 1
+            elif source is not None:
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                    budget -= 1
+                op = source()
+            else:
+                break
+            if op is None:
+                break
+            outbox.append(("inv", op_id, op.name, op.args))
+            start = time.perf_counter() if record_latency else 0.0
+            try:
+                result = drive_op(pid, op, apply_over_channel)
+            except CrashedByServer:
+                break
+            outbox.append(("resp", op_id, op.name, result))
+            if record_latency:
+                latencies.append((pid, op.name, time.perf_counter() - start))
+            op_id += 1
+    except BaseException:  # noqa: BLE001 - forwarded to the parent
+        error = traceback.format_exc()
+    finally:
+        try:
+            outbox.append(("done", latencies, error))
+            conn.send(outbox)
+            conn.close()
+        except OSError:  # pragma: no cover - channel already torn down
+            pass
+
+
+# -- memory-server process ----------------------------------------------------
+
+
+def _server_main(
+    out_conn,
+    conns_by_pid: Dict[str, Any],
+    build,
+    build_args: Tuple[Any, ...],
+    faults: Optional[FaultPlan],
+) -> None:
+    """Own the objects and the history; serve primitives serially."""
+    history = History()
+    latencies: List[Tuple[str, str, float]] = []
+    errors: List[Tuple[str, str]] = []
+    crashed: List[str] = []
+    steps = 0
+    try:
+        registry = ObjectRegistry(build(*build_args))
+        active: Dict[Any, str] = {
+            conn: pid for pid, conn in conns_by_pid.items()
+        }
+        current_op: Dict[str, int] = {}
+        doomed = set()
+        # Held (delayed) primitive requests: (release_at_msgs, conn,
+        # pid, message).  Released once enough later messages have been
+        # served, or immediately when the system would otherwise idle.
+        delayed: List[Tuple[int, Any, str, Tuple[Any, ...]]] = []
+        msgs = 0
+
+        def apply_prim(conn, pid, message):
+            nonlocal steps
+            _, obj_name, primitive, args = message
+            try:
+                result = registry.resolve(obj_name).apply(primitive, args)
+            except Exception:  # noqa: BLE001 - reported to the worker
+                conn.send(("err", traceback.format_exc()))
+                return
+            steps += 1
+            history.record_primitive(
+                pid, current_op.get(pid, 0), obj_name, primitive, args, result
+            )
+            conn.send(("ok", result))
+
+        def handle_prim(conn, pid, message):
+            decision = None
+            if pid in doomed:
+                doomed.discard(pid)
+                decision = CrashDecision(pid)
+            elif faults is not None:
+                decision = faults.decide(
+                    steps + 1, pid, message[1], message[2]
+                )
+            if isinstance(decision, CrashDecision):
+                if decision.pid == pid:
+                    history.record_crash(pid, current_op.get(pid))
+                    crashed.append(pid)
+                    conn.send(("crash",))
+                    return
+                # Crashing another process takes effect at *its* next
+                # primitive request; this one proceeds normally.
+                doomed.add(decision.pid)
+                decision = None
+            if isinstance(decision, DelayDecision):
+                delayed.append((msgs + decision.steps, conn, pid, message))
+                return
+            apply_prim(conn, pid, message)
+
+        def release_delayed(due_only: bool) -> None:
+            remaining = []
+            for entry in delayed:
+                if not due_only or entry[0] <= msgs:
+                    apply_prim(entry[1], entry[2], entry[3])
+                else:
+                    remaining.append(entry)
+            delayed[:] = remaining
+
+        def handle_batch(conn, pid, batch) -> bool:
+            """Serve one batch; False once the conn went inactive."""
+            nonlocal msgs
+            for message in batch:
+                msgs += 1
+                tag = message[0]
+                if tag == "prim":
+                    handle_prim(conn, pid, message)
+                elif tag == "inv":
+                    _, op_id, name, args = message
+                    current_op[pid] = op_id
+                    history.record_invocation(pid, op_id, name, args)
+                elif tag == "resp":
+                    _, op_id, name, result = message
+                    history.record_response(pid, op_id, name, result)
+                elif tag == "done":
+                    _, lats, err = message
+                    latencies.extend(lats)
+                    if err is not None:
+                        errors.append((pid, err))
+                    del active[conn]
+                    return False
+            return True
+
+        # The hot loop.  ``conn_wait`` is one select() per pass; each
+        # ready channel is then drained greedily (poll(0) costs far less
+        # than another select against every channel) so a busy system
+        # pays the multiplexing overhead once per burst, not per
+        # primitive.
+        active_list = list(active)
+        while active:
+            if delayed:
+                release_delayed(due_only=True)
+            ready = conn_wait(active_list, timeout=0.05)
+            if not ready:
+                if delayed:
+                    release_delayed(due_only=False)
+                if len(active_list) != len(active):
+                    active_list = list(active)
+                continue
+            for conn in ready:
+                pid = active.get(conn)
+                if pid is None:  # pragma: no cover - defensive
+                    continue
+                while True:
+                    try:
+                        batch = conn.recv()
+                    except EOFError:
+                        errors.append((pid, "channel closed before 'done'"))
+                        del active[conn]
+                        break
+                    if not handle_batch(conn, pid, batch):
+                        break
+                    if not conn.poll():
+                        break
+            if len(active_list) != len(active):
+                active_list = list(active)
+        release_delayed(due_only=False)
+        out_conn.send(("ok", {
+            "history": history,
+            "steps": steps,
+            "latencies": latencies,
+            "crashed": crashed,
+            "errors": errors,
+        }))
+    except BaseException:  # noqa: BLE001 - forwarded to the parent
+        try:
+            out_conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - parent gone
+            pass
+    finally:
+        out_conn.close()
+
+
+# -- the runtime --------------------------------------------------------------
+
+
+class ProcessRuntime(Runtime):
+    """Run each algorithm process in its own OS process.
+
+    ``build(*build_args)`` must be picklable and deterministic: it is
+    called once in the server (the authoritative objects) and once per
+    worker (the local replica generators run against).  Programs are
+    registered as picklable factories via :meth:`add_program_factory`
+    (a fixed operation list) or :meth:`add_source_factory` (an
+    on-demand operation source for duration-bounded runs).
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        build,
+        build_args: Tuple[Any, ...] = (),
+        *,
+        faults: Optional[FaultPlan] = None,
+        record_latency: bool = True,
+        join_watchdog: Optional[float] = DEFAULT_WATCHDOG,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self._build = build
+        self._build_args = tuple(build_args)
+        self.faults = faults
+        self.record_latency = record_latency
+        self.join_watchdog = join_watchdog
+        self._start_method = start_method
+        self._history = History()
+        self.processes: Dict[str, PidRef] = {}
+        self._specs: Dict[str, Dict[str, Any]] = {}
+        self.latencies: List[Tuple[str, str, float]] = []
+        self.crashed: Tuple[str, ...] = ()
+        self.elapsed = 0.0
+        self._steps = 0
+
+    # -- the runtime interface --------------------------------------------
+
+    def spawn(self, pid: str) -> PidRef:
+        if pid in self.processes:
+            raise ValueError(f"duplicate pid {pid!r}")
+        ref = PidRef(pid)
+        self.processes[pid] = ref
+        return ref
+
+    def add_program(self, pid: str, ops: List[Op]) -> PidRef:
+        raise TypeError(
+            "ProcessRuntime cannot ship closed-over Op lists across the "
+            "process boundary; register a picklable factory with "
+            "add_program_factory(pid, factory) or "
+            "add_source_factory(pid, factory) instead"
+        )
+
+    def add_program_factory(
+        self, pid: str, factory, args: Tuple[Any, ...] = ()
+    ) -> PidRef:
+        """``factory(system, pid, *args)`` -> list of Ops, built worker-side."""
+        ref = self.processes.get(pid) or self.spawn(pid)
+        if pid in self._specs:
+            raise ValueError(f"process {pid!r} already has a program")
+        self._specs[pid] = {
+            "kind": "program", "factory": factory, "args": tuple(args),
+        }
+        return ref
+
+    def add_source_factory(
+        self,
+        pid: str,
+        factory,
+        args: Tuple[Any, ...] = (),
+        max_ops: Optional[int] = None,
+    ) -> PidRef:
+        """``factory(system, pid, *args)`` -> nullary callable yielding Ops."""
+        ref = self.processes.get(pid) or self.spawn(pid)
+        if pid in self._specs:
+            raise ValueError(f"process {pid!r} already has a program")
+        self._specs[pid] = {
+            "kind": "source", "factory": factory, "args": tuple(args),
+            "max_ops": max_ops,
+        }
+        return ref
+
+    @property
+    def history(self) -> History:
+        return self._history
+
+    @property
+    def steps_taken(self) -> int:
+        return self._steps
+
+    # -- execution ---------------------------------------------------------
+
+    def _context(self):
+        method = self._start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else None
+        return multiprocessing.get_context(method)
+
+    def run(self, duration: Optional[float] = None) -> History:
+        """Spawn the memory server and one worker per process; collect.
+
+        Every join and channel read is bounded by ``join_watchdog`` (on
+        top of ``duration``): a stuck worker or server is terminated
+        and reported by pid instead of hanging the harness.
+        """
+        pids = [pid for pid in self.processes if pid in self._specs]
+        if not pids:
+            return self._history
+        ctx = self._context()
+        barrier = ctx.Barrier(len(pids) + 1)
+        server_conns: Dict[str, Any] = {}
+        worker_conns: Dict[str, Any] = {}
+        workers: Dict[str, Any] = {}
+        for pid in pids:
+            worker_end, server_end = ctx.Pipe(duplex=True)
+            worker_conns[pid] = worker_end
+            server_conns[pid] = server_end
+            workers[pid] = ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_end, pid, self._build, self._build_args,
+                    self._specs[pid], duration, self.record_latency, barrier,
+                ),
+                name=f"rt-{pid}",
+                daemon=True,
+            )
+        parent_conn, server_out = ctx.Pipe(duplex=False)
+        server = ctx.Process(
+            target=_server_main,
+            args=(
+                server_out, server_conns, self._build, self._build_args,
+                self.faults,
+            ),
+            name="rt-memory-server",
+            daemon=True,
+        )
+        everyone = [server] + list(workers.values())
+        try:
+            server.start()
+            for worker in workers.values():
+                worker.start()
+            for conn in server_conns.values():
+                conn.close()
+            for conn in worker_conns.values():
+                conn.close()
+            server_out.close()
+            try:
+                barrier.wait(timeout=self.join_watchdog or DEFAULT_WATCHDOG)
+            except Exception as exc:
+                raise RuntimeError(
+                    "process runtime: workers failed to start "
+                    f"({sorted(pid for pid, w in workers.items() if not w.is_alive())} dead)"
+                ) from exc
+            started = time.perf_counter()
+            watchdog = self.join_watchdog
+            deadline = (
+                None if watchdog is None
+                else time.monotonic() + (duration or 0.0) + watchdog
+            )
+            # Multiplex worker exits with the server's control pipe, so
+            # a server-side failure (e.g. an unresolvable object) is
+            # surfaced immediately instead of after the full watchdog.
+            final = None
+            pending = {w.sentinel: pid for pid, w in workers.items()}
+            while pending:
+                waitees = list(pending)
+                if final is None:
+                    waitees.append(parent_conn)
+                timeout = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                ready = conn_wait(waitees, timeout=timeout)
+                if not ready:
+                    self.elapsed = time.perf_counter() - started
+                    raise RuntimeError(
+                        f"process runtime: worker(s) "
+                        f"{sorted(pending.values())} still running after "
+                        f"the {watchdog:.0f}s watchdog; terminating"
+                    )
+                for item in ready:
+                    if item is parent_conn:
+                        final = parent_conn.recv()
+                        if final[0] != "ok":
+                            raise RuntimeError(
+                                "process runtime: memory server failed:\n"
+                                f"{final[1]}"
+                            )
+                    else:
+                        pending.pop(item, None)
+            self.elapsed = time.perf_counter() - started
+            for worker in workers.values():
+                worker.join(5)
+            failed = sorted(
+                pid for pid, worker in workers.items() if worker.exitcode
+            )
+            if failed:
+                raise RuntimeError(
+                    f"process runtime: worker(s) {failed} exited abnormally"
+                )
+            if final is None:
+                if not parent_conn.poll(watchdog or DEFAULT_WATCHDOG):
+                    raise RuntimeError(
+                        "process runtime: memory server produced no final "
+                        "payload within the watchdog"
+                    )
+                final = parent_conn.recv()
+            verdict, payload = final
+            server.join(watchdog or DEFAULT_WATCHDOG)
+            if verdict != "ok":
+                raise RuntimeError(
+                    f"process runtime: memory server failed:\n{payload}"
+                )
+            if payload["errors"]:
+                pid, first = payload["errors"][0]
+                raise RuntimeError(
+                    f"process runtime: process {pid!r} failed "
+                    f"({len(payload['errors'])} error(s) total):\n{first}"
+                )
+            self._history = payload["history"]
+            self._steps = payload["steps"]
+            self.latencies = payload["latencies"]
+            self.crashed = tuple(payload["crashed"])
+            return self._history
+        finally:
+            for proc in everyone:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in everyone:
+                if proc.pid is not None:
+                    proc.join(5)
+            parent_conn.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessRuntime(processes={len(self.processes)}, "
+            f"steps={self._steps})"
+        )

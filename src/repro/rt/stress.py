@@ -1,19 +1,29 @@
-"""Stress/throughput harness: the paper's objects on real threads.
+"""Stress/throughput harness: the paper's objects on real threads or
+real processes.
 
-``run_stress`` spins up N writer/reader/auditor threads against
+``run_stress`` spins up N writer/reader/auditor workers against
 Algorithm 1 (register), Algorithm 2 (max register), Algorithm 3
 (snapshot) or the naive baseline, under an op-count budget and/or a
-wall-clock duration, and reports ops/sec plus latency percentiles.  The
-recorded history is the same :class:`~repro.sim.history.History` the
-simulator produces, so it can be post-validated by the *same* oracles:
-the Wing-Gong linearizability checker against the auditable sequential
-specs, and the syntactic audit-exactness oracle.
+wall-clock duration, and reports ops/sec plus latency percentiles.
+``runtime="thread"`` (default) uses one OS thread per worker;
+``runtime="process"`` uses one OS process per worker with primitives
+served by a memory-server process (:mod:`repro.rt.process_runtime`) —
+true multi-core scaling past the GIL.  Either way, the recorded history
+is the same :class:`~repro.sim.history.History` the simulator produces,
+so it can be post-validated by the *same* oracles: the Wing-Gong
+linearizability checker against the auditable sequential specs, and the
+syntactic audit-exactness oracle.
+
+The system builder and per-worker op sources are module-level (not
+closures) so the process backend can ship them across the fork/spawn
+boundary by name; the thread backend reuses the exact same pieces.
 
 CLI entry point: ``python -m repro stress`` (see ``__main__``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Dict, List, Optional, Tuple
@@ -38,10 +48,12 @@ from repro.core.auditable_register import AuditableRegister
 from repro.core.auditable_snapshot import AuditableSnapshot
 from repro.crypto.nonce import NonceSource
 from repro.crypto.pad import OneTimePadSequence
+from repro.rt.process_runtime import FaultPlan, PidRef, ProcessRuntime
 from repro.rt.thread_runtime import ThreadRuntime
 from repro.sim.history import History
 
 STRESS_OBJECTS = ("register", "max", "snapshot", "naive")
+STRESS_RUNTIMES = ("thread", "process")
 
 
 def split_threads(
@@ -67,14 +79,20 @@ def split_threads(
 
 
 def percentile_summary(samples: List[float]) -> Dict[str, float]:
-    """Nearest-rank latency percentiles, in microseconds."""
+    """Nearest-rank latency percentiles, in microseconds.
+
+    The nearest-rank definition: the p-th percentile of n ordered
+    samples is the one at (1-based) rank ``ceil(p * n)``.  (An earlier
+    round-half-up formula picked one sample too low whenever ``p * n``
+    had a fractional part at most one half — e.g. the p90 of 7 samples.)
+    """
     if not samples:
         return {}
     ordered = sorted(samples)
     n = len(ordered)
 
     def rank(p: float) -> float:
-        return ordered[min(n - 1, max(0, int(p * n + 0.5) - 1))]
+        return ordered[min(n, max(1, math.ceil(p * n))) - 1]
 
     return {
         "p50_us": round(rank(0.50) * 1e6, 1),
@@ -86,7 +104,7 @@ def percentile_summary(samples: List[float]) -> Dict[str, float]:
 
 @dataclass
 class StressReport:
-    """Outcome of one threaded stress run."""
+    """Outcome of one stress run (thread or process runtime)."""
 
     object: str
     readers: int
@@ -95,6 +113,7 @@ class StressReport:
     seed: int
     ops_budget: Optional[int]
     duration: Optional[float]
+    runtime: str = "thread"
     ops_completed: int = 0
     primitives: int = 0
     elapsed: float = 0.0
@@ -121,6 +140,7 @@ class StressReport:
         """JSON-serializable record (one line of a stress JSONL log)."""
         return {
             "object": self.object,
+            "runtime": self.runtime,
             "readers": self.readers,
             "writers": self.writers,
             "auditors": self.auditors,
@@ -139,8 +159,9 @@ class StressReport:
         }
 
     def render(self) -> str:
+        worker = "processes" if self.runtime == "process" else "threads"
         lines = [
-            f"== stress: {self.object} on {self.threads} threads "
+            f"== stress: {self.object} on {self.threads} {worker} "
             f"({self.readers} readers / {self.writers} writers / "
             f"{self.auditors} auditors) ==",
             f"  ops completed : {self.ops_completed} "
@@ -177,7 +198,7 @@ class StressReport:
 
 @dataclass
 class _StressSystem:
-    runtime: ThreadRuntime
+    runtime: Any
     register: Any
     reader_index: Dict[str, int] = field(default_factory=dict)
     updater_index: Dict[str, int] = field(default_factory=dict)
@@ -189,6 +210,115 @@ def _max_value(seed: int, writer: int, k: int) -> int:
     return stable_hash("stress-max-value", seed, writer, k) % 1_000_000
 
 
+def build_stress_register(
+    object_kind: str,
+    r: int,
+    w: int,
+    seed: int,
+    max_substrate: str = "atomic",
+    snapshot_substrate: str = "afek",
+) -> Any:
+    """Build the shared object under stress, deterministically from args.
+
+    Module-level and pure so the process runtime can use it as its
+    ``build`` callable: the memory server and every worker construct an
+    identical replica from the same arguments.
+    """
+    pad_width = max(1, r)
+    pad = OneTimePadSequence(pad_width, seed=stable_hash("stress-pad", seed))
+    nonces = NonceSource(seed=stable_hash("stress-nonce", seed))
+    if object_kind == "register":
+        return AuditableRegister(pad_width, initial="v0", pad=pad)
+    if object_kind == "max":
+        return AuditableMaxRegister(
+            pad_width, initial=0, pad=pad, nonces=nonces,
+            max_substrate=max_substrate,
+        )
+    if object_kind == "naive":
+        return NaiveAuditableRegister(pad_width, initial="v0")
+    if object_kind == "snapshot":
+        # run_stress guarantees w >= 1 here: updaters ARE the
+        # components, so the role counts in the report stay truthful.
+        return AuditableSnapshot(
+            components=w,
+            num_scanners=pad_width,
+            initial=0,
+            pad=pad,
+            nonces=nonces,
+            snapshot_substrate=snapshot_substrate,
+            max_substrate=max_substrate,
+        )
+    raise ValueError(
+        f"unknown stress object {object_kind!r} "
+        f"(choose from {', '.join(STRESS_OBJECTS)})"
+    )
+
+
+def _stress_pids(
+    object_kind: str, r: int, w: int, a: int
+) -> List[Tuple[str, str, int]]:
+    """The (pid, role, index) roster of one stress run."""
+    roster: List[Tuple[str, str, int]] = []
+    if object_kind == "snapshot":
+        roster += [(f"u{i}", "updater", i) for i in range(w)]
+        roster += [(f"s{j}", "scanner", j) for j in range(r)]
+    else:
+        roster += [(f"r{j}", "reader", j) for j in range(r)]
+        roster += [(f"w{i}", "writer", i) for i in range(w)]
+    roster += [(f"a{idx}", "auditor", idx) for idx in range(a)]
+    return roster
+
+
+def stress_op_source(
+    reg: Any,
+    pid: str,
+    object_kind: str,
+    seed: int,
+    role: str,
+    index: int,
+):
+    """Nullary op source for one stress worker.
+
+    Signature matches the process runtime's source-factory contract
+    (``factory(system, pid, *args)``); the thread path calls it with the
+    shared object directly.  Values replay from ``seed`` alone, so both
+    backends (and every process-runtime replica) generate the same
+    operation stream per pid.
+    """
+    ref = PidRef(pid)
+    counter = count()
+    if role == "reader":
+        handle = reg.reader(ref, index)
+        return lambda: handle.read_op()
+    if role == "writer":
+        handle = reg.writer(ref)
+        if object_kind == "max":
+            return lambda: handle.write_max_op(
+                _max_value(seed, index, next(counter))
+            )
+        return lambda: handle.write_op(f"w{index}-{next(counter)}")
+    if role == "updater":
+        handle = reg.updater(ref, index)
+        return lambda: handle.update_op(_max_value(seed, index, next(counter)))
+    if role == "scanner":
+        handle = reg.scanner(ref, index)
+        return lambda: handle.scan_op()
+    if role == "auditor":
+        handle = reg.auditor(ref)
+        return lambda: handle.audit_op()
+    raise ValueError(f"unknown stress role {role!r}")
+
+
+def _index_roster(system: _StressSystem, roster) -> None:
+    for pid, role, index in roster:
+        if role == "reader":
+            system.reader_index[pid] = index
+        elif role == "updater":
+            system.updater_index[pid] = index
+        elif role == "scanner":
+            system.scanner_index[pid] = index
+
+
 def _build(
     object_kind: str,
     r: int,
@@ -198,100 +328,48 @@ def _build(
     ops: Optional[int],
     max_substrate: str,
     snapshot_substrate: str,
+    runtime: str = "thread",
+    faults: Optional[FaultPlan] = None,
 ) -> _StressSystem:
-    """Construct the shared object, handles and per-thread op sources."""
-    rt = ThreadRuntime()
-    pad_width = max(1, r)
-    pad = OneTimePadSequence(pad_width, seed=stable_hash("stress-pad", seed))
-    nonces = NonceSource(seed=stable_hash("stress-nonce", seed))
-
-    if object_kind == "register":
-        reg: Any = AuditableRegister(pad_width, initial="v0", pad=pad)
-        value = lambda i, k: f"w{i}-{k}"  # noqa: E731
-    elif object_kind == "max":
-        reg = AuditableMaxRegister(
-            pad_width, initial=0, pad=pad, nonces=nonces,
-            max_substrate=max_substrate,
-        )
-        value = lambda i, k: _max_value(seed, i, k)  # noqa: E731
-    elif object_kind == "naive":
-        reg = NaiveAuditableRegister(pad_width, initial="v0")
-        value = lambda i, k: f"w{i}-{k}"  # noqa: E731
-    elif object_kind == "snapshot":
-        # run_stress guarantees w >= 1 here: updaters ARE the
-        # components, so the role counts in the report stay truthful.
-        reg = AuditableSnapshot(
-            components=w,
-            num_scanners=pad_width,
-            initial=0,
-            pad=pad,
-            nonces=nonces,
-            snapshot_substrate=snapshot_substrate,
-            max_substrate=max_substrate,
-        )
-        value = lambda i, k: _max_value(seed, i, k)  # noqa: E731
-    else:
+    """Construct the runtime, shared object and per-worker op sources."""
+    if runtime not in STRESS_RUNTIMES:
         raise ValueError(
-            f"unknown stress object {object_kind!r} "
-            f"(choose from {', '.join(STRESS_OBJECTS)})"
+            f"unknown stress runtime {runtime!r} "
+            f"(choose from {', '.join(STRESS_RUNTIMES)})"
         )
-
-    system = _StressSystem(runtime=rt, register=reg)
-
-    def op_source(make_op):
-        counter = count()
-        return lambda: make_op(next(counter))
-
-    if object_kind == "snapshot":
-        system.components = reg.components
-        for i in range(reg.components):
-            pid = f"u{i}"
-            handle = reg.updater(rt.spawn(pid), i)
-            system.updater_index[pid] = i
-            rt.add_op_source(
+    build_args = (object_kind, r, w, seed, max_substrate, snapshot_substrate)
+    reg = build_stress_register(*build_args)
+    roster = _stress_pids(object_kind, r, w, a)
+    if runtime == "process":
+        prt = ProcessRuntime(build_stress_register, build_args, faults=faults)
+        for pid, role, index in roster:
+            prt.add_source_factory(
                 pid,
-                op_source(lambda k, h=handle, i=i: h.update_op(value(i, k))),
+                stress_op_source,
+                args=(object_kind, seed, role, index),
                 max_ops=ops,
             )
-        for j in range(r):
-            pid = f"s{j}"
-            handle = reg.scanner(rt.spawn(pid), j)
-            system.scanner_index[pid] = j
-            rt.add_op_source(
-                pid, op_source(lambda k, h=handle: h.scan_op()), max_ops=ops
+        # ``reg`` is the parent's replica: never run against, used only
+        # to post-validate the history (the audit oracle needs the main
+        # register's name and decode hook, both replica-stable).
+        system = _StressSystem(runtime=prt, register=reg)
+    else:
+        if faults is not None:
+            raise ValueError(
+                "fault plans require the process runtime "
+                "(run_stress(..., runtime='process'))"
             )
-        for idx in range(a):
-            pid = f"a{idx}"
-            handle = reg.auditor(rt.spawn(pid))
-            rt.add_op_source(
-                pid, op_source(lambda k, h=handle: h.audit_op()), max_ops=ops
+        trt = ThreadRuntime()
+        for pid, role, index in roster:
+            trt.add_op_source(
+                pid,
+                stress_op_source(reg, pid, object_kind, seed, role, index),
+                max_ops=ops,
             )
-        return system
-
-    for j in range(r):
-        pid = f"r{j}"
-        handle = reg.reader(rt.spawn(pid), j)
-        system.reader_index[pid] = j
-        rt.add_op_source(
-            pid, op_source(lambda k, h=handle: h.read_op()), max_ops=ops
-        )
-    for i in range(w):
-        pid = f"w{i}"
-        handle = reg.writer(rt.spawn(pid))
-        write_op = (
-            handle.write_max_op if object_kind == "max" else handle.write_op
-        )
-        rt.add_op_source(
-            pid,
-            op_source(lambda k, wo=write_op, i=i: wo(value(i, k))),
-            max_ops=ops,
-        )
-    for idx in range(a):
-        pid = f"a{idx}"
-        handle = reg.auditor(rt.spawn(pid))
-        rt.add_op_source(
-            pid, op_source(lambda k, h=handle: h.audit_op()), max_ops=ops
-        )
+        system = _StressSystem(runtime=trt, register=reg)
+    if object_kind == "snapshot":
+        system.components = reg.components
+    _index_roster(system, roster)
     return system
 
 
@@ -358,16 +436,21 @@ def run_stress(
     max_substrate: str = "atomic",
     snapshot_substrate: str = "afek",
     lin_max_nodes: int = DEFAULT_MAX_NODES,
+    runtime: str = "thread",
+    faults: Optional[FaultPlan] = None,
 ) -> StressReport:
-    """One threaded stress run; see the module docstring.
+    """One stress run; see the module docstring.
 
-    ``ops`` is the per-thread operation budget (``None`` = unbounded,
+    ``ops`` is the per-worker operation budget (``None`` = unbounded,
     requires ``duration``).  ``validate`` defaults to on for bounded
     budgets and off for duration-only runs, whose histories can be far
     too large for the exponential linearizability search.
     ``lin_max_nodes`` bounds that search: exhausting it yields an
     UNDECIDED linearizability verdict (``lin_ok is None``), never a
-    crash.
+    crash.  ``runtime`` selects the backend (``thread`` or
+    ``process``); ``faults`` (process runtime only) injects message
+    delays and crashes at the memory server
+    (:class:`~repro.rt.process_runtime.FaultPlan`).
     """
     if ops is None and duration is None:
         raise ValueError("need an op budget (ops=) or a duration")
@@ -377,12 +460,13 @@ def run_stress(
     if object == "snapshot":
         # Updaters are the snapshot's components; there is always at
         # least one, and the report's role counts must match the
-        # threads actually spawned.
+        # workers actually spawned.
         w = max(1, w)
     if r + w + a < 1:
-        raise ValueError("no threads: all role counts are zero")
+        raise ValueError("no workers: all role counts are zero")
     system = _build(
-        object, r, w, a, seed, ops, max_substrate, snapshot_substrate
+        object, r, w, a, seed, ops, max_substrate, snapshot_substrate,
+        runtime=runtime, faults=faults,
     )
     rt = system.runtime
     history = rt.run(duration=duration)
@@ -395,6 +479,7 @@ def run_stress(
         seed=seed,
         ops_budget=ops,
         duration=duration,
+        runtime=runtime,
         ops_completed=len(history.complete_operations()),
         primitives=rt.steps_taken,
         elapsed=rt.elapsed,

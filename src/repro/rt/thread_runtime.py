@@ -38,7 +38,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.rt.base import Runtime
 from repro.sim.history import History
 from repro.sim.process import Op
-from repro.sim.runner import drive_to_suspension
+from repro.sim.runner import drive_op
+
+#: Default seconds granted past any --duration before a stuck thread is
+#: declared hung and surfaced instead of joined forever.
+DEFAULT_WATCHDOG = 60.0
 
 
 class ThreadProcess:
@@ -94,11 +98,22 @@ class ThreadRuntime(Runtime):
 
     kind = "thread"
 
-    def __init__(self, *, record_latency: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        record_latency: bool = True,
+        join_watchdog: Optional[float] = DEFAULT_WATCHDOG,
+    ) -> None:
         self._history = History()
         self._hist_lock = threading.Lock()
-        self._obj_locks: Dict[int, threading.Lock] = {}
+        # Keyed by id(obj) but each entry *pins* the object with a strong
+        # reference: a pinned object can never be garbage-collected, so
+        # its id can never be reused to alias a second object onto the
+        # same lock (and the table's size is bounded by the number of
+        # distinct objects the run touches, not by churn).
+        self._obj_locks: Dict[int, Tuple[Any, threading.Lock]] = {}
         self._obj_locks_guard = threading.Lock()
+        self.join_watchdog = join_watchdog
         self.processes: Dict[str, ThreadProcess] = {}
         self.record_latency = record_latency
         #: (pid, op_name, seconds) per completed operation, merged after
@@ -147,6 +162,12 @@ class ThreadRuntime(Runtime):
         starting an operation once the shared deadline has passed —
         operations in flight always complete, so the recorded history
         contains no artificial pending operations.
+
+        Joins are bounded: a thread still running ``join_watchdog``
+        seconds past the deadline (or past the join, for unbounded
+        runs) is reported by pid in a :class:`RuntimeError` instead of
+        hanging the harness forever.  Pass ``join_watchdog=None`` to
+        restore unbounded joins.
         """
         procs = list(self.processes.values())
         if not procs:
@@ -169,9 +190,32 @@ class ThreadRuntime(Runtime):
             thread.start()
         barrier.wait()
         started = time.perf_counter()
+        watchdog = self.join_watchdog
+        deadline = (
+            None
+            if watchdog is None
+            else time.monotonic() + (duration or 0.0) + watchdog
+        )
         for thread in threads:
-            thread.join()
+            if deadline is None:
+                thread.join()
+            else:
+                thread.join(max(0.1, deadline - time.monotonic()))
+        stuck = sorted(
+            thread.name.removeprefix("rt-")
+            for thread in threads
+            if thread.is_alive()
+        )
         self.elapsed = time.perf_counter() - started
+        if stuck:
+            # Daemon threads: the interpreter can still exit.  Ask the
+            # survivors to stop and surface who is hung rather than
+            # blocking the harness forever.
+            self._stop.set()
+            raise RuntimeError(
+                f"thread runtime: thread(s) {stuck} still running "
+                f"{watchdog:.0f}s past the deadline; likely deadlocked"
+            )
         if self._errors:
             pid, first = self._errors[0]
             raise RuntimeError(
@@ -184,12 +228,17 @@ class ThreadRuntime(Runtime):
 
     def _lock_for(self, obj: Any) -> threading.Lock:
         # Plain dict reads are atomic under the GIL; only creation needs
-        # the guard (setdefault keeps the first lock on a lost race).
-        lock = self._obj_locks.get(id(obj))
-        if lock is None:
+        # the guard (setdefault keeps the first entry on a lost race).
+        # Entries are (obj, lock): pinning obj keeps its id unique for
+        # the table's lifetime, so a reused id can never alias two
+        # distinct objects to one lock.
+        entry = self._obj_locks.get(id(obj))
+        if entry is None:
             with self._obj_locks_guard:
-                lock = self._obj_locks.setdefault(id(obj), threading.Lock())
-        return lock
+                entry = self._obj_locks.setdefault(
+                    id(obj), (obj, threading.Lock())
+                )
+        return entry[1]
 
     def _drive(
         self,
@@ -228,10 +277,8 @@ class ThreadRuntime(Runtime):
         start = time.perf_counter() if self.record_latency else 0.0
         with self._hist_lock:
             self._history.record_invocation(pid, op_id, op.name, op.args)
-        gen = op.start()
-        suspended, payload = drive_to_suspension(pid, gen, first=True)
-        while suspended:
-            pending = payload
+
+        def apply_locked(pending):
             with self._lock_for(pending.obj):
                 result = pending.obj.apply(pending.primitive, pending.args)
                 with self._hist_lock:
@@ -244,9 +291,11 @@ class ThreadRuntime(Runtime):
                         result,
                     )
                     self._steps += 1
-            suspended, payload = drive_to_suspension(pid, gen, result)
+            return result
+
+        result = drive_op(pid, op, apply_locked)
         with self._hist_lock:
-            self._history.record_response(pid, op_id, op.name, payload)
+            self._history.record_response(pid, op_id, op.name, result)
         if self.record_latency:
             latencies.append((pid, op.name, time.perf_counter() - start))
 

@@ -60,6 +60,32 @@ def drive_to_suspension(
     return True, yielded
 
 
+def drive_op(
+    pid: str,
+    op: Op,
+    apply: Callable[[PendingPrimitive], Any],
+) -> Any:
+    """Drive one operation to completion; return the operation's result.
+
+    Every yielded primitive goes through ``apply``, which executes it
+    atomically (however the backend defines atomicity: under a
+    per-object lock on the thread runtime, as a message round-trip to
+    the memory server on the process runtime) and returns its result.
+    ``apply`` may raise to abandon the operation (e.g. when the memory
+    server crashed the process mid-operation); the generator is closed
+    and the exception propagates.
+    """
+    gen = op.start()
+    try:
+        suspended, payload = drive_to_suspension(pid, gen, first=True)
+        while suspended:
+            result = apply(payload)
+            suspended, payload = drive_to_suspension(pid, gen, result)
+    finally:
+        gen.close()
+    return payload
+
+
 class StepBudgetExceeded(RuntimeError):
     """Raised when a simulation exceeds its step budget.
 

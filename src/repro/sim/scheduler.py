@@ -60,6 +60,13 @@ class CrashDecision:
     the step is consumed by the crash.  The pid must name an existing,
     not-yet-crashed process (it need not be runnable: crashing an idle
     process models a stop between operations).
+
+    The process runtime (:mod:`repro.rt.process_runtime`) interprets the
+    same decision at its memory server: the process is crashed at its
+    next primitive request, mid-operation, and the pending operation
+    stays pending in the history.  Fault plans for the message-passing
+    backend therefore speak the exact vocabulary the fuzzer's schedule
+    adversaries already emit.
     """
 
     __slots__ = ("pid",)
@@ -69,6 +76,31 @@ class CrashDecision:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CrashDecision({self.pid!r})"
+
+
+class DelayDecision:
+    """A schedule decision that delays a process's pending primitive.
+
+    In the simulator, delaying a process is just the schedule not
+    choosing it, so the simulator never needs this decision explicitly.
+    Message-passing runtimes do: the memory server of
+    :mod:`repro.rt.process_runtime` holds the process's in-flight
+    primitive request while (roughly) ``steps`` later-arriving messages
+    from other processes are served first — modeling network delay and
+    message reorder as a first-class schedule decision, on the same seam
+    as :class:`CrashDecision`.
+    """
+
+    __slots__ = ("pid", "steps")
+
+    def __init__(self, pid: str, steps: int = 4) -> None:
+        if steps < 1:
+            raise ValueError("delay must cover at least one step")
+        self.pid = pid
+        self.steps = steps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DelayDecision({self.pid!r}, steps={self.steps})"
 
 
 class Schedule:

@@ -1,0 +1,277 @@
+"""The process backend: memory server, object registry, fault plans.
+
+Cross-backend *equivalence* lives in ``test_rt_equivalence``; these
+tests pin the backend's own machinery: name-based object resolution
+(including lazily materialised array/matrix cells), the factory-based
+program API and its pickling constraints, error propagation across the
+process boundary, crash/delay bookkeeping, and the stress harness's
+``runtime="process"`` path being validated by the unchanged oracles.
+
+Every builder/factory here is module-level: the process runtime ships
+them to workers by name, so a closure would fail under the spawn start
+method (and defeat the point of the API).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis import check_audit_exactness
+from repro.memory.main_register import MainRegister
+from repro.memory.register import CasRegister
+from repro.memory.rword import RWord
+from repro.rt import (
+    FaultPlan,
+    ObjectRegistry,
+    PidRef,
+    ProcessRuntime,
+    Runtime,
+    ScriptedFaultPlan,
+    SeededFaultPlan,
+    make_runtime,
+    run_stress,
+)
+from repro.rt.stress import build_stress_register
+from repro.sim.process import Op
+from repro.sim.scheduler import CrashDecision, DelayDecision
+
+
+def _build_main():
+    return MainRegister("m", RWord(0, "init", 0))
+
+
+def _read_factory(main, pid, n=3):
+    def read_gen():
+        word = yield from main.read()
+        return word.val
+
+    return [Op("read", read_gen) for _ in range(n)]
+
+
+def _boom_factory(main, pid):
+    def boom():
+        raise RuntimeError("kaboom")
+        yield  # pragma: no cover - makes this a generator function
+
+    return [Op("boom", boom)]
+
+
+def _ghost_factory(main, pid):
+    ghost = CasRegister("ghost", 0)
+
+    def program():
+        ok = yield from ghost.compare_and_swap(0, 1)
+        return ok
+
+    return [Op("ghost", program)]
+
+
+def _source_factory(main, pid):
+    def source():
+        def read_gen():
+            word = yield from main.read()
+            return word.val
+
+        return Op("read", read_gen)
+
+    return source
+
+
+# -- the runtime interface ---------------------------------------------------
+
+
+def test_make_runtime_process_kind():
+    rt = make_runtime("process", build=_build_main)
+    assert isinstance(rt, ProcessRuntime)
+    assert isinstance(rt, Runtime)
+    assert rt.kind == "process"
+    with pytest.raises(ValueError, match="picklable system builder"):
+        make_runtime("process")
+
+
+def test_add_program_rejects_closed_over_ops():
+    """Op lists cannot cross the process boundary; the error says why."""
+    rt = ProcessRuntime(_build_main)
+    with pytest.raises(TypeError, match="add_program_factory"):
+        rt.add_program("p", [])
+
+
+def test_duplicate_pids_and_programs_rejected():
+    rt = ProcessRuntime(_build_main)
+    rt.spawn("p")
+    with pytest.raises(ValueError, match="duplicate"):
+        rt.spawn("p")
+    rt.add_program_factory("p", _read_factory)
+    with pytest.raises(ValueError, match="already has a program"):
+        rt.add_source_factory("p", _source_factory)
+
+
+def test_run_with_no_programs_returns_empty_history():
+    rt = ProcessRuntime(_build_main)
+    assert list(rt.run()) == []
+
+
+def test_program_factory_runs_and_records():
+    rt = ProcessRuntime(_build_main)
+    rt.add_program_factory("p", _read_factory, args=(2,))
+    history = rt.run()
+    ops = history.complete_operations(name="read")
+    assert [op.result for op in ops] == ["init", "init"]
+    assert rt.steps_taken == len(history.primitive_events()) == 2
+    assert not history.pending_operations()
+
+
+def test_source_factory_honours_max_ops():
+    rt = ProcessRuntime(_build_main)
+    rt.add_source_factory("p", _source_factory, max_ops=5)
+    history = rt.run()
+    assert len(history.complete_operations(name="read")) == 5
+
+
+def test_worker_errors_propagate_with_pid():
+    rt = ProcessRuntime(_build_main)
+    rt.add_program_factory("p", _boom_factory)
+    with pytest.raises(RuntimeError, match="process 'p' failed"):
+        rt.run()
+
+
+def test_unknown_object_is_rejected_by_the_server():
+    """A primitive on an object the server does not own fails loudly
+    (with the unknown name in the error), not silently."""
+    rt = ProcessRuntime(_build_main)
+    rt.add_program_factory("p", _ghost_factory)
+    with pytest.raises(RuntimeError, match="ghost"):
+        rt.run()
+
+
+# -- the object registry -----------------------------------------------------
+
+
+def test_registry_walks_the_auditable_register():
+    reg = build_stress_register("register", 2, 1, 0)
+    registry = ObjectRegistry(reg)
+    assert registry.resolve("areg.R") is reg.R
+    assert registry.resolve("areg.SN") is reg.SN
+
+
+def test_registry_resolves_lazy_cells_by_name():
+    """Array/matrix cells materialise lazily with dynamic names; the
+    registry must resolve (and then cache) them through the container."""
+    reg = build_stress_register("register", 2, 1, 0)
+    registry = ObjectRegistry(reg)
+    cell = registry.resolve("areg.V[1]")
+    assert cell is reg.V[1]
+    assert registry.resolve("areg.V[1]") is cell  # cached
+    bit = registry.resolve("areg.B[0][1]")
+    assert bit is reg.B[0, 1]
+    with pytest.raises(KeyError, match="nope"):
+        registry.resolve("nope")
+    with pytest.raises(KeyError):
+        registry.resolve("nope[3]")
+
+
+# -- fault plans --------------------------------------------------------------
+
+
+def test_fault_plans_are_picklable():
+    """Plans ship to the memory server at spawn; pickling is part of
+    their contract."""
+    for plan in (
+        FaultPlan(),
+        ScriptedFaultPlan({3: CrashDecision("p")}),
+        SeededFaultPlan(7, crash_per_10k=100, delay_per_10k=50),
+    ):
+        clone = pickle.loads(pickle.dumps(plan))
+        assert type(clone) is type(plan)
+
+
+def test_delay_decision_validates_steps():
+    with pytest.raises(ValueError):
+        DelayDecision("p", steps=0)
+    assert DelayDecision("p").steps >= 1
+
+
+def test_seeded_fault_plan_caps_crashes():
+    plan = SeededFaultPlan(0, crash_per_10k=10_000, max_crashes=2)
+    decisions = [
+        plan.decide(step, "p", "m", "read") for step in range(1, 20)
+    ]
+    crashes = [d for d in decisions if isinstance(d, CrashDecision)]
+    assert len(crashes) == 2  # capped, despite certain-crash odds
+
+
+def test_crash_of_another_process_lands_at_its_next_primitive():
+    """A decision naming a *different* pid dooms that process: it is
+    crashed at its own next primitive request, not the decider's."""
+    rt = ProcessRuntime(
+        _build_main,
+        faults=ScriptedFaultPlan({1: CrashDecision("q")}),
+    )
+    rt.add_program_factory("p", _read_factory, args=(4,))
+    rt.add_program_factory("q", _read_factory, args=(4,))
+    history = rt.run()
+    assert rt.crashed == ("q",)
+    pending = history.pending_operations()
+    assert {op.pid for op in pending} == {"q"}
+    # p was never crashed: all four of its operations completed.
+    completed_by_p = [
+        op for op in history.complete_operations() if op.pid == "p"
+    ]
+    assert len(completed_by_p) == 4
+
+
+# -- the stress harness on the process runtime --------------------------------
+
+
+@pytest.mark.parametrize("obj", ["register", "max", "snapshot", "naive"])
+def test_process_stress_objects_validate(obj):
+    """Bounded process-runtime stress runs pass the unchanged oracles."""
+    report = run_stress(obj, threads=4, ops=6, seed=1, runtime="process")
+    assert report.runtime == "process"
+    assert report.validated and report.ok
+    assert report.lin_ok is True
+    assert report.ops_completed == 4 * 6
+    assert report.to_payload()["runtime"] == "process"
+
+
+def test_process_stress_crash_fault_keeps_audit_exactness():
+    """A crash mid-operation must not break the audit oracle: exactness
+    is defined for histories with pending operations, and a parent-side
+    replica of the register is enough to decode them."""
+    from repro.rt.stress import stress_op_source
+
+    build_args = ("register", 2, 1, 2)
+    rt = ProcessRuntime(
+        build_stress_register, build_args,
+        faults=ScriptedFaultPlan({7: CrashDecision("w0")}),
+    )
+    roster = (
+        ("r0", "reader", 0), ("r1", "reader", 1),
+        ("w0", "writer", 0), ("a0", "auditor", 0),
+    )
+    for pid, role, index in roster:
+        rt.add_source_factory(
+            pid, stress_op_source, args=("register", 2, role, index),
+            max_ops=6,
+        )
+    history = rt.run()
+    assert rt.crashed == ("w0",)
+    assert {op.pid for op in history.pending_operations()} <= {"w0"}
+    replica = build_stress_register(*build_args)
+    assert check_audit_exactness(history, replica) == []
+
+
+def test_thread_stress_rejects_fault_plans():
+    with pytest.raises(ValueError, match="process"):
+        run_stress(
+            "register", threads=2, ops=2,
+            faults=ScriptedFaultPlan({1: CrashDecision("w0")}),
+        )
+
+
+def test_pid_ref_is_a_minimal_handle():
+    ref = PidRef("r3")
+    assert ref.pid == "r3"
+    assert pickle.loads(pickle.dumps(ref)).pid == "r3"

@@ -83,6 +83,50 @@ def test_thread_runtime_rejects_duplicate_pids():
         rt.spawn("p")
 
 
+def test_thread_runtime_lock_table_pins_objects():
+    """The per-object lock table must keep each registered object alive:
+    a garbage-collected object's id could otherwise be reused by a new
+    object, silently aliasing two objects to one lock."""
+    import gc
+
+    from repro.memory.register import CasRegister
+
+    rt = ThreadRuntime()
+    obj = CasRegister("c", 0)
+    key = id(obj)
+    lock = rt._lock_for(obj)
+    assert rt._lock_for(obj) is lock  # stable per object
+    assert rt._obj_locks[key][0] is obj  # strong reference pins it
+    del obj
+    gc.collect()
+    # Still pinned after the caller dropped it: the id stays taken.
+    assert rt._obj_locks[key][0].name == "c"
+    other = CasRegister("d", 0)
+    assert rt._lock_for(other) is not lock
+
+
+def test_thread_runtime_watchdog_surfaces_stuck_pid():
+    """A hung worker thread must raise (naming the pid), not hang the
+    harness forever."""
+    from repro.sim.process import Op
+
+    release = threading.Event()
+
+    def stuck():
+        release.wait()
+        return "late"
+        yield  # pragma: no cover - makes this a generator function
+
+    rt = ThreadRuntime(join_watchdog=0.3)
+    rt.spawn("sleeper")
+    rt.add_program("sleeper", [Op("stuck", stuck)])
+    try:
+        with pytest.raises(RuntimeError, match="sleeper"):
+            rt.run()
+    finally:
+        release.set()  # let the daemon thread exit cleanly
+
+
 def test_thread_runtime_propagates_worker_errors():
     from repro.sim.process import Op
 
@@ -193,6 +237,23 @@ def test_percentile_summary():
     assert percentile_summary([]) == {}
 
 
+def test_percentile_summary_nearest_rank_exact():
+    """Nearest-rank = the sample at rank ceil(p*n), pinned exactly.
+
+    Seven samples is the regression case: ceil(0.9 * 7) = 7 (the max),
+    where the old round-half-up formula picked rank 6.
+    """
+    stats = percentile_summary([i / 1e6 for i in range(1, 8)])
+    assert stats["p50_us"] == 4.0  # ceil(3.5) = rank 4
+    assert stats["p90_us"] == 7.0  # ceil(6.3) = rank 7, NOT rank 6
+    assert stats["p99_us"] == 7.0
+    stats = percentile_summary([i / 1e5 for i in range(1, 5)])
+    assert stats["p50_us"] == 20.0  # ceil(2.0) = rank 2
+    assert stats["p90_us"] == 40.0  # ceil(3.6) = rank 4
+    single = percentile_summary([5e-6])
+    assert set(single.values()) == {5.0}
+
+
 @pytest.mark.parametrize("obj", ["register", "max", "snapshot", "naive"])
 def test_stress_objects_validate(obj):
     report = run_stress(obj, threads=6, ops=12, seed=1)
@@ -248,6 +309,16 @@ def test_cli_stress_smoke_exits_zero(capsys):
     out = capsys.readouterr().out
     assert "ops/sec" in out
     assert "history linearizable" in out
+
+
+def test_cli_stress_smoke_combines_with_process_runtime(capsys):
+    """--smoke leaves --runtime orthogonal, so CI can smoke either
+    backend with one flag."""
+    assert cli_main(["stress", "--smoke", "--runtime", "process"]) == 0
+    out = capsys.readouterr().out
+    assert "4 processes" in out
+    assert "[PASS] history linearizable" in out
+    assert "[PASS] audit exactness" in out
 
 
 def test_cli_stress_acceptance_command(capsys):

@@ -1,13 +1,24 @@
-"""Cross-backend equivalence: SimRuntime vs ThreadRuntime.
+"""Cross-backend equivalence: SimRuntime vs ThreadRuntime vs ProcessRuntime.
 
 The runtime seam promises that algorithm code observes the same
-primitive-memory interface on either backend.  For a *single-threaded*
-program (one process) both backends execute the same sequential
+primitive-memory interface on every backend.  For a *single-threaded*
+program (one process) all backends execute the same sequential
 computation, so the recorded histories must coincide event-for-event —
 indices, arguments and results included — and every oracle must return
 the same verdict.  Property tests drive random primitive sequences
-through ``fetch&xor`` / ``CAS`` / ``swap`` on both backends and compare
+through ``fetch&xor`` / ``CAS`` / ``swap`` on all backends and compare
 results exactly.
+
+Fault-injection regressions ride along: with a single process, a
+scripted crash at the memory server must truncate the history at
+exactly the same event the fault names (everything before it identical
+to the fault-free run), and a scripted delay must be a pure no-op (the
+server's flush-on-idle releases a held request the moment no other
+message can overtake it).
+
+Builders and program factories are module-level so the process backend
+can ship them across the fork/spawn boundary by name; the sim and
+thread backends call the very same functions in-process.
 """
 
 from __future__ import annotations
@@ -28,73 +39,144 @@ from repro.crypto.pad import OneTimePadSequence
 from repro.memory.main_register import MainRegister
 from repro.memory.register import CasRegister, SwapRegister
 from repro.memory.rword import RWord
-from repro.rt import SimRuntime, ThreadRuntime, make_runtime
+from repro.rt import (
+    PidRef,
+    ProcessRuntime,
+    ScriptedFaultPlan,
+    SimRuntime,
+    ThreadRuntime,
+    make_runtime,
+)
+from repro.sim.events import CrashEvent
 from repro.sim.process import Op
+from repro.sim.scheduler import CrashDecision, DelayDecision
 
 
-def _single_process_program(runtime, seed=0):
-    """One process exercising all three roles of Algorithm 1."""
+def _eq_build(seed=0):
+    """The shared object of the single-process program (deterministic)."""
     pad = OneTimePadSequence(2, seed=stable_hash("eq-pad", seed))
-    reg = AuditableRegister(2, initial="v0", pad=pad)
-    process = runtime.spawn("p")
-    reader = reg.reader(process, 0)
-    writer = reg.writer(process)
-    auditor = reg.auditor(process)
+    return AuditableRegister(2, initial="v0", pad=pad)
+
+
+def _eq_program_factory(reg, pid, seed=0):
+    """One process exercising all three roles of Algorithm 1."""
+    ref = PidRef(pid)
+    reader = reg.reader(ref, 0)
+    writer = reg.writer(ref)
+    auditor = reg.auditor(ref)
     ops = []
     for k in range(4):
         ops.append(writer.write_op(f"v{k + 1}"))
         ops.append(reader.read_op())
         ops.append(auditor.audit_op())
-    runtime.add_program("p", ops)
-    return reg, {"p": 0}
+    return ops
 
 
-def _run_backend(kind, seed=0):
+def _run_backend(kind, seed=0, faults=None):
+    if kind == "process":
+        runtime = ProcessRuntime(_eq_build, (seed,), faults=faults)
+        runtime.add_program_factory("p", _eq_program_factory, args=(seed,))
+        reg = _eq_build(seed)  # parent-side replica for the oracles
+        history = runtime.run()
+        return runtime, reg, {"p": 0}, history
     runtime = make_runtime(kind, seed=seed)
-    reg, reader_index = _single_process_program(runtime, seed)
+    reg = _eq_build(seed)
+    runtime.spawn("p")
+    runtime.add_program("p", _eq_program_factory(reg, "p", seed))
     history = runtime.run()
-    return runtime, reg, reader_index, history
+    return runtime, reg, {"p": 0}, history
 
 
 @pytest.mark.parametrize("seed", [0, 1, 7])
 def test_single_process_histories_identical(seed):
-    """Same program, both backends: event-for-event equal histories."""
+    """Same program, all backends: event-for-event equal histories."""
     _, _, _, sim_history = _run_backend("sim", seed)
     _, _, _, thread_history = _run_backend("thread", seed)
     assert list(sim_history) == list(thread_history)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_single_process_history_identical_on_process_backend(seed):
+    """One worker process: server arrival order is program order, so the
+    message-passing history equals the simulator's exactly."""
+    _, _, _, sim_history = _run_backend("sim", seed)
+    _, _, _, proc_history = _run_backend("process", seed)
+    assert list(sim_history) == list(proc_history)
 
 
 @pytest.mark.parametrize("seed", [0, 3])
 def test_single_process_oracle_verdicts_identical(seed):
     """Lin + audit-exactness verdicts coincide across backends."""
     verdicts = {}
-    for kind in ("sim", "thread"):
+    for kind in ("sim", "thread", "process"):
         _, reg, reader_index, history = _run_backend(kind, seed)
         spec = auditable_register_spec("v0", reader_index)
         lin = check_history(tag_reads(history.operations()), spec).ok
         audit = not check_audit_exactness(history, reg)
         verdicts[kind] = (lin, audit)
-    assert verdicts["sim"] == verdicts["thread"]
+    assert verdicts["sim"] == verdicts["thread"] == verdicts["process"]
     assert verdicts["sim"] == (True, True)
+
+
+# -- fault-injection regressions (the schedule-decision seam) -----------------
+
+
+def test_scripted_crash_truncates_history_at_the_named_primitive():
+    """Crash at the k-th primitive arrival: the history is the fault-free
+    prefix up to (excluding) that primitive, then a crash event, and the
+    operation in flight stays pending."""
+    crash_at = 5
+    _, _, _, clean = _run_backend("process", seed=0)
+    rt, _, _, crashed = _run_backend(
+        "process", seed=0,
+        faults=ScriptedFaultPlan({crash_at: CrashDecision("p")}),
+    )
+    events = list(crashed)
+    assert isinstance(events[-1], CrashEvent)
+    assert events[-1].pid == "p"
+    assert rt.crashed == ("p",)
+    assert [op.op_id for op in crashed.pending_operations()] != []
+    # Everything before the crash matches the fault-free run exactly.
+    assert events[:-1] == list(clean)[: len(events) - 1]
+    # Exactly crash_at - 1 primitives were applied before the crash.
+    assert len(crashed.primitive_events()) == crash_at - 1
+
+
+def test_scripted_delay_is_a_no_op_for_a_single_process():
+    """With one process there is no later message to reorder past, so a
+    held request must be flushed on idle and the history is unchanged."""
+    _, _, _, clean = _run_backend("process", seed=1)
+    _, _, _, delayed = _run_backend(
+        "process", seed=1,
+        faults=ScriptedFaultPlan({3: DelayDecision("p", steps=50)}),
+    )
+    assert list(clean) == list(delayed)
 
 
 # -- primitive-level property tests ------------------------------------------
 
 
-def _primitive_trace(runtime, seed):
+def _trace_objects():
+    """Three objects mixing all primitive families (picklable builder)."""
+    return {
+        "m": MainRegister("m", RWord(0, "init", 0)),
+        "c": CasRegister("c", 0),
+        "s": SwapRegister("s", "a"),
+    }
+
+
+def _trace_program(objects, seed):
     """A seeded random sequence of fetch&xor / CAS / swap primitives.
 
-    Returns the operation's result list; the generator mixes all three
+    The operation returns its result list; the generator mixes all three
     primitive families on three objects so cross-object ordering is
     exercised too.
     """
-    main = MainRegister("m", RWord(0, "init", 0))
-    cas = CasRegister("c", 0)
-    swap = SwapRegister("s", "a")
-    results = []
+    main, cas, swap = objects["m"], objects["c"], objects["s"]
 
     def program():
         rng = random.Random(stable_hash("rt-prop", seed))
+        results = []
         last_word = None
         for step in range(30):
             choice = rng.randrange(5)
@@ -120,11 +202,29 @@ def _primitive_trace(runtime, seed):
                 results.append(("s.swap", old))
         return tuple(results)
 
-    runtime.spawn("p")
-    runtime.add_program("p", [Op("trace", program)])
-    history = runtime.run()
+    return [Op("trace", program)]
+
+
+def _trace_factory(objects, pid, seed):
+    """Process-backend program factory (module-level, hence picklable)."""
+    return _trace_program(objects, seed)
+
+
+def _trace_views(history):
     (op,) = history.complete_operations(name="trace")
     return op.result, [e.view() for e in history.primitive_events(pid="p")]
+
+
+def _primitive_trace(runtime, seed):
+    runtime.spawn("p")
+    runtime.add_program("p", _trace_program(_trace_objects(), seed))
+    return _trace_views(runtime.run())
+
+
+def _primitive_trace_process(seed):
+    rt = ProcessRuntime(_trace_objects)
+    rt.add_program_factory("p", _trace_factory, args=(seed,))
+    return _trace_views(rt.run())
 
 
 @pytest.mark.parametrize("seed", range(8))
@@ -134,3 +234,12 @@ def test_primitive_results_match_across_backends(seed):
     thread_result, thread_views = _primitive_trace(ThreadRuntime(), seed)
     assert sim_result == thread_result
     assert sim_views == thread_views
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_primitive_results_match_on_process_backend(seed):
+    """The same traces replay identically over the message channel."""
+    sim_result, sim_views = _primitive_trace(SimRuntime(), seed)
+    proc_result, proc_views = _primitive_trace_process(seed)
+    assert sim_result == proc_result
+    assert sim_views == proc_views
