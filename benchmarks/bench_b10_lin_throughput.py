@@ -18,7 +18,14 @@ paths that actually run it:
   while the partitioned checker only searches the guilty cell;
 - the **batched verdict service**: the same jobs through
   ``check_histories_parallel`` serially and across workers, with the
-  JSONL checkpoints compared byte-for-byte.
+  JSONL checkpoints compared byte-for-byte;
+- the **online ladder**: the streaming checker
+  (:mod:`repro.analysis.streamlin`) against batch fastlin on the same
+  stress histories (statuses must be identical), then live
+  ``repro stress --online`` runs at two sizes -- the larger at least a
+  million operations over multiple minutes in the full run -- whose
+  peak resident operation count must stay flat as the history grows
+  10x: the bounded-memory acceptance criterion.
 
 Results land in ``BENCH_lin.json`` at the repository root and in the
 pytest-benchmark ``extra_info``.  Tiny E13 scenario executions (3-5
@@ -330,6 +337,80 @@ def test_bench_lin_throughput(benchmark, tmp_path):
         "workers": workers,
         "checkpoints_byte_identical": True,
     }
+
+    # The online ladder, part 1: streaming == batch on the stress
+    # corpora (event-for-event differential at bench scale), with the
+    # residency the streaming checker needed.
+    from repro.analysis.streamlin import check_history_streaming
+    from repro.rt.stress import run_stress
+
+    payload["online_ladder"] = []
+    for ops_per_thread in STRESS_LADDER:
+        corpus = stress_corpora[ops_per_thread]
+        t_batch = _time(lambda: _statuses_fast(corpus), reps=2)
+        t_stream = _time(lambda: [
+            check_history_streaming(ops, spec).status
+            for ops, spec in corpus
+        ], reps=2)
+        streamed = [check_history_streaming(ops, spec) for ops, spec in corpus]
+        statuses = [v.status for v in streamed]
+        assert statuses == _statuses_fast(corpus)
+        payload["online_ladder"].append({
+            "ops_per_thread": ops_per_thread,
+            "ops": sum(len(ops) for ops, _ in corpus),
+            "batch_s": round(t_batch, 5),
+            "streaming_s": round(t_stream, 5),
+            "peak_resident_ops": max(
+                v.progress.peak_resident_ops for v in streamed
+            ),
+            "statuses_identical": True,
+        })
+
+    # Part 2: live online validation through the thread runtime -- the
+    # configuration ``stress --online`` ships.  Two sizes, the larger
+    # 10x the smaller (>=1M operations in the full run), and the peak
+    # resident op count must not grow with the history: residency
+    # tracks overlap width, not length.
+    online_sizes = (
+        (500, 5_000) if SMOKE else (100_000, 1_000_000)
+    )
+    payload["online_stress"] = []
+    peaks = []
+    for total_ops in online_sizes:
+        # Four threads: the overlap width real deployments run at.
+        # Wider rosters can pin one op open across hundreds of
+        # completions on six other chains, which makes exact online
+        # checking blow its configuration budget (NP-hardness showing
+        # up online); that degradation to UNDECIDED is tested in
+        # test_streamlin.py, not benchmarked here.
+        per_thread = total_ops // 4
+        report = run_stress(
+            "register", readers=2, writers=1, auditors=1,
+            ops=per_thread, seed=0, online=True, record_latency=False,
+            join_watchdog=900.0,
+        )
+        assert report.lin_ok and report.audit_ok, report.stream
+        assert report.stream["status"] == "ok"
+        events = report.stream["events"]
+        assert report.stream["frontier_index"] == events - 1
+        peaks.append(report.stream["peak_resident_ops"])
+        payload["online_stress"].append({
+            "total_ops": report.ops_completed,
+            "events": events,
+            "elapsed_s": round(report.elapsed, 2),
+            "ops_per_sec": round(report.ops_per_sec, 1),
+            "peak_resident_ops": report.stream["peak_resident_ops"],
+            "ops_retired": report.stream["ops_retired"],
+            "frontier_complete": True,
+            "status": report.stream["status"],
+        })
+    # Bounded memory: 10x the operations, the same residency ballpark.
+    # The floor covers scheduler-induced overlap spikes (an op pinned
+    # open across a GIL deschedule window holds a few hundred
+    # completions resident regardless of run length); the ratio is what
+    # rules out length-proportional growth.
+    assert peaks[1] <= max(4 * peaks[0], 512), peaks
+    benchmark.extra_info["online_peak_resident_ops"] = peaks[1]
 
     # Headline acceptance numbers.
     check_top = payload["check_path_ladder"][-1]

@@ -7,6 +7,7 @@
     python -m repro fuzz [options]      # schedule fuzzing (repro.fuzz)
     python -m repro stress [options]    # threaded stress/throughput (repro.rt)
     python -m repro lin FILE [options]  # linearizability verdict service
+    python -m repro serve LOG [options] # streaming verification service
     python -m repro attacks             # run the attack gallery
     python -m repro version             # also: --version
 
@@ -46,12 +47,20 @@ workers, profiling nodes explored and wall time::
 
     python -m repro lin histories.jsonl --spec register --workers 4
 
+Streaming-service example -- a duration-bounded stress run validated
+online with bounded memory while `repro serve` follows its event log::
+
+    python -m repro stress --object register --duration 60 --online \\
+        --event-log run.jsonl &
+    python -m repro serve run.jsonl --follow
+
 Quick serial sanity passes (used by CI)::
 
     python -m repro sweep --smoke
     python -m repro check --smoke
     python -m repro fuzz --smoke --expect-violation
     python -m repro stress --smoke
+    python -m repro serve --smoke
 """
 
 from __future__ import annotations
@@ -77,6 +86,8 @@ def _overview() -> int:
     print("  python -m repro stress [options]      threaded stress / "
           "throughput")
     print("  python -m repro lin FILE [options]    linearizability verdict "
+          "service")
+    print("  python -m repro serve LOG [options]   streaming verification "
           "service")
     print("  python -m repro attacks               run the attack gallery")
     print("  python -m repro version               print the version")
@@ -785,6 +796,33 @@ def _stress(argv) -> int:
         "--no-validate", dest="validate", action="store_false",
         help="skip history post-validation",
     )
+    parser.add_argument(
+        "--online", action="store_true",
+        help="stream instead of buffer: disable history retention and "
+        "validate incrementally as events are recorded, so memory stays "
+        "bounded on unbounded runs (validates duration-only runs too)",
+    )
+    parser.add_argument(
+        "--event-log", default=None, metavar="FILE",
+        help="stream every history event to FILE in the JSONL wire "
+        "format (consumable by 'python -m repro serve')",
+    )
+    parser.add_argument(
+        "--stream-window", type=int, default=None, metavar="N",
+        help="events per budget-accounting window of the online "
+        "checker (default: repro.analysis.streamlin.DEFAULT_WINDOW)",
+    )
+    parser.add_argument(
+        "--no-latency", action="store_true",
+        help="skip per-op latency sampling (the sample list grows with "
+        "the run; recommended for long bounded-memory runs)",
+    )
+    parser.add_argument(
+        "--join-watchdog", type=float, default=None, metavar="SECONDS",
+        help="report workers still running this long past the expected "
+        "end as hung (default 60; raise for bounded op budgets that "
+        "legitimately take minutes, 0 = wait forever)",
+    )
     _add_engine_options(
         parser,
         include_workers=False,
@@ -818,6 +856,15 @@ def _stress(argv) -> int:
             seed=args.seed,
             validate=args.validate,
             runtime=args.runtime,
+            online=args.online,
+            event_log=args.event_log,
+            stream_window=args.stream_window,
+            record_latency=not args.no_latency,
+            **(
+                {}
+                if args.join_watchdog is None
+                else {"join_watchdog": args.join_watchdog or None}
+            ),
         )
     except ValueError as exc:
         print(f"stress: {exc}", file=sys.stderr)
@@ -830,6 +877,190 @@ def _stress(argv) -> int:
             handle.write(encode_record(report.to_payload()) + "\n")
         print(f"  record appended: {args.out}")
     return 0 if report.ok else 1
+
+
+def _serve(argv) -> int:
+    """The ``serve`` subcommand: the streaming verification service
+    (online fastlin + windowed audit oracle over a JSONL event log)."""
+    import argparse
+    import json
+
+    from repro.rt.serve import VerdictServer, serve_file, serve_lines
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Stream a JSONL event log (produced by any runtime "
+        "via --event-log, or by 'repro stress --online') through the "
+        "incremental linearizability checker and, for stress logs, the "
+        "windowed audit-exactness oracle.  Memory stays bounded by the "
+        "stream's overlap width, so arbitrarily long runs can be "
+        "verified while they happen (--follow).  A stream cut before "
+        "its end marker yields a PARTIAL verdict carrying the last "
+        "verified frontier.  Exit codes: 0 verified clean, 1 a "
+        "violation was proven, 2 partial/undecided or a usage error.",
+    )
+    parser.add_argument(
+        "log", nargs="?", metavar="LOG",
+        help="JSONL event-log file, or '-' to read stdin",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="keep polling at EOF until the end marker arrives (watch "
+        "a log another process is still writing)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --follow: give up (PARTIAL) after this long with no "
+        "new bytes (default: wait forever)",
+    )
+    parser.add_argument(
+        "--spec", default=None, metavar="NAME",
+        help="check against a named fastlin spec (linearizability "
+        "only) instead of rebuilding the stress validator from the "
+        "log's hello metadata",
+    )
+    parser.add_argument(
+        "--spec-params", default=None, metavar="JSON",
+        help="JSON object of parameters for --spec",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="closure-node budget per accounting window (default: the "
+        "fastlin default)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="events per budget-accounting window (default: the log's "
+        "hello metadata, else streamlin's default)",
+    )
+    parser.add_argument(
+        "--progress", type=int, default=0, metavar="N",
+        help="print rolling progress (frontier, residency) every N "
+        "events to stderr",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="self-contained CI check: run a small seeded stress run "
+        "into a temporary event log, serve it, and assert the verdict "
+        "matches the batch oracle on the buffered history",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _serve_smoke()
+    if not args.log:
+        parser.error("an event LOG is required (or --smoke)")
+    if args.spec_params and not args.spec:
+        parser.error("--spec-params requires --spec")
+    try:
+        spec_params = (
+            json.loads(args.spec_params) if args.spec_params else None
+        )
+    except json.JSONDecodeError as exc:
+        print(f"serve: bad --spec-params: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.analysis.fastlin import DEFAULT_MAX_NODES
+
+    def progress(snapshot):
+        print(
+            f"serve [{snapshot.get('events_seen', 0)} events] "
+            f"frontier={snapshot.get('frontier_index')} "
+            f"resident={snapshot.get('resident_ops')} "
+            f"retired={snapshot.get('ops_retired')}",
+            file=sys.stderr, flush=True,
+        )
+
+    try:
+        server = VerdictServer(
+            spec=args.spec,
+            spec_params=spec_params,
+            max_nodes=(
+                args.max_nodes if args.max_nodes is not None
+                else DEFAULT_MAX_NODES
+            ),
+            window=args.window,
+            progress_every=args.progress,
+            progress=progress if args.progress else None,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.log == "-":
+            outcome = serve_lines(server, sys.stdin)
+        else:
+            outcome = serve_file(
+                server, args.log,
+                follow=args.follow, idle_timeout=args.idle_timeout,
+            )
+    except OSError as exc:
+        print(f"serve: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"serve: invalid event log: {exc}", file=sys.stderr)
+        return 2
+    print(outcome.render())
+    return outcome.exit_code
+
+
+def _serve_smoke() -> int:
+    """Differential CI smoke: one stress run, served log vs batch
+    oracle on the buffered history — verdicts must agree."""
+    import os
+    import tempfile
+
+    from repro.analysis.audit_checks import check_audit_exactness
+    from repro.analysis.fastlin import check_history as batch_check
+    from repro.analysis.specs import stream_register_spec
+    from repro.analysis.streamlin import DEFAULT_WINDOW
+    from repro.rt.serve import VerdictServer, serve_file
+    from repro.rt.stress import _build
+    from repro.sim.event_log import JsonlEventSink
+
+    fd, path = tempfile.mkstemp(prefix="repro-serve-smoke-", suffix=".jsonl")
+    os.close(fd)
+    try:
+        sink = JsonlEventSink(path, meta={
+            "kind": "stress", "object": "register",
+            "r": 2, "w": 1, "a": 1, "seed": 0,
+            "max_substrate": "atomic", "snapshot_substrate": "afek",
+            "window": DEFAULT_WINDOW,
+        })
+        system = _build(
+            "register", 2, 1, 1, 0, 8, "atomic", "afek",
+            event_log=sink, retain_history=True,
+        )
+        history = system.runtime.run()
+        sink.close()
+
+        batch = batch_check(
+            history.operations(), stream_register_spec("v0")
+        )
+        audit_violations = check_audit_exactness(history, system.register)
+        outcome = serve_file(VerdictServer(), path)
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    print(outcome.render())
+    print(
+        f"  batch oracle  : lin={batch.status} "
+        f"audit={'ok' if not audit_violations else 'FAIL'} "
+        f"({len(history.operations())} ops buffered)"
+    )
+    lin_match = outcome.status == batch.status
+    audit_match = outcome.audit_ok == (not audit_violations)
+    match = lin_match and audit_match and outcome.clean_end
+    print(
+        f"  [{'PASS' if match else 'FAIL'}] served verdict matches the "
+        "batch oracle"
+    )
+    if not match:
+        return 1
+    return outcome.exit_code
 
 
 def _lin(argv) -> int:
@@ -1038,6 +1269,8 @@ def main(argv=None) -> int:
         return _stress(rest)
     if command == "lin":
         return _lin(rest)
+    if command == "serve":
+        return _serve(rest)
     if command == "attacks":
         import runpy
         import pathlib

@@ -24,10 +24,13 @@
 from repro.analysis.audit_checks import (
     AuditOracle,
     AuditViolation,
+    WindowedAuditOracle,
     audit_oracle,
     check_audit_exactness,
+    check_audit_exactness_streaming,
     check_audit_monotone,
     expected_audit_set,
+    windowed_audit_oracle,
 )
 from repro.analysis.fastlin import (
     LIN_FAIL,
@@ -86,14 +89,25 @@ from repro.analysis.specs import (
     register_array_spec,
     register_spec,
     snapshot_spec,
+    stream_max_register_spec,
+    stream_register_spec,
+    stream_snapshot_spec,
     tag_ops_with_pid,
     tag_reads,
     versioned_spec,
+)
+from repro.analysis.streamlin import (
+    LIN_PARTIAL,
+    StreamingLinChecker,
+    StreamProgress,
+    StreamVerdict,
+    check_history_streaming,
 )
 
 __all__ = [
     "LIN_FAIL",
     "LIN_OK",
+    "LIN_PARTIAL",
     "LIN_UNDECIDED",
     "PENDING",
     "AttackOutcome",
@@ -108,15 +122,21 @@ __all__ = [
     "LinearizationResult",
     "PhaseViolation",
     "SeqSpec",
+    "StreamProgress",
+    "StreamVerdict",
+    "StreamingLinChecker",
+    "WindowedAuditOracle",
     "audit_oracle",
     "auditable_max_register_spec",
     "auditable_register_spec",
     "check_audit_exactness",
+    "check_audit_exactness_streaming",
     "check_audit_monotone",
     "check_histories_parallel",
     "fast_check_history",
     "check_fetch_xor_uniqueness",
     "check_history",
+    "check_history_streaming",
     "check_phase_structure",
     "check_value_sequence",
     "classify_read",
@@ -140,7 +160,11 @@ __all__ = [
     "snapshot_spec",
     "spec_from_name",
     "spec_names",
+    "stream_max_register_spec",
+    "stream_register_spec",
+    "stream_snapshot_spec",
     "success_rate",
+    "windowed_audit_oracle",
     "tag_ops_with_pid",
     "tag_reads",
     "tracking_bits_seen",

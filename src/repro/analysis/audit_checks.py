@@ -20,8 +20,9 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Any, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.sim.events import CrashEvent, PrimitiveEvent, Response
 from repro.sim.history import History, OperationRecord
 
 
@@ -121,6 +122,179 @@ def check_audit_exactness(
                 )
             )
     return violations
+
+
+class WindowedAuditOracle:
+    """The syntactic audit oracle over a *stream* of events.
+
+    :class:`AuditOracle` scans a fully buffered history; this variant
+    consumes events as they arrive and checks each audit at its
+    response, holding only **carried state**: the first-occurrence
+    timeline of distinct announced pairs plus read-of-``R`` markers for
+    in-flight operations.  Every ``window`` events the timeline is
+    compacted — entries no outstanding audit can still cut through are
+    folded into a frozen base set — so resident state is bounded by the
+    answer size (distinct pairs) plus the window, never by the stream
+    length.  The companion of :class:`~repro.analysis.streamlin.
+    StreamingLinChecker` on the ``repro serve`` / ``stress --online``
+    paths.
+
+    ``decode`` mirrors ``register._decode_value`` (identity for the
+    plain register, version-stripping for the max register); ``lift``
+    post-processes each pair before comparison, e.g.
+    ``lambda j, v: (j, v[1])`` for objects built on an auditable max
+    register whose audits strip the version component (the streaming
+    form of :func:`repro.engine.tasks.lifted_audit_violations`).
+    """
+
+    def __init__(
+        self,
+        r_name: str,
+        *,
+        decode: Optional[Callable[[Any], Any]] = None,
+        lift: Optional[Callable[[int, Any], Tuple[int, Any]]] = None,
+        window: int = 1024,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self._r_name = r_name
+        self._decode = decode or (lambda value: value)
+        self._lift = lift
+        self._window = window
+        # Carried state: pairs already safe to freeze ...
+        self._base: Set[Tuple[int, Any]] = set()
+        self._compacted_to = 0  # every cut >= this is still answerable
+        # ... plus the recent first-occurrence timeline (index-sorted).
+        self._recent_indices: List[int] = []
+        self._recent_pairs: List[Tuple[int, Any]] = []
+        self._first_seen: Dict[Tuple[int, Any], int] = {}
+        # First read-of-R index per in-flight operation.
+        self._read_marks: Dict[Tuple[str, int], int] = {}
+        self.violations: List[AuditViolation] = []
+        self.events = 0
+        self.audits_checked = 0
+        self.windows = 0
+        self.peak_recent = 0
+
+    # -- event intake ------------------------------------------------------
+
+    def feed(self, event: Any) -> Optional[AuditViolation]:
+        """Consume one history event (in index order); returns the
+        violation if the event completed a non-exact audit."""
+        self.events += 1
+        violation: Optional[AuditViolation] = None
+        if isinstance(event, PrimitiveEvent):
+            if event.obj_name == self._r_name:
+                if event.primitive == "fetch_xor":
+                    j = event.args[0].bit_length() - 1
+                    pair = (j, self._decode(event.result.val))
+                    if self._lift is not None:
+                        pair = self._lift(*pair)
+                    if pair not in self._first_seen:
+                        self._first_seen[pair] = event.index
+                        self._recent_indices.append(event.index)
+                        self._recent_pairs.append(pair)
+                        if len(self._recent_pairs) > self.peak_recent:
+                            self.peak_recent = len(self._recent_pairs)
+                elif event.primitive == "read":
+                    self._read_marks.setdefault(
+                        (event.pid, event.op_id), event.index
+                    )
+        elif isinstance(event, Response):
+            mark = self._read_marks.pop((event.pid, event.op_id), None)
+            if event.op_name == "audit" and mark is not None:
+                violation = self._check_audit(
+                    event.pid, event.op_id, mark, event.result
+                )
+        elif isinstance(event, CrashEvent):
+            # A crashed op never responds; free its marker so the
+            # compaction safe-point keeps advancing.
+            self._read_marks.pop((event.pid, event.op_id), None)
+        if self.events % self._window == 0:
+            self._roll()
+        return violation
+
+    def _check_audit(
+        self, pid: str, op_id: int, lin: int, reported: Any
+    ) -> Optional[AuditViolation]:
+        self.audits_checked += 1
+        expected = self.expected(lin)
+        reported_set = set(reported)
+        if expected == reported_set:
+            return None
+        violation = AuditViolation(
+            audit_pid=pid,
+            audit_op_id=op_id,
+            missing=frozenset(expected - reported_set),
+            extra=frozenset(reported_set - expected),
+        )
+        self.violations.append(violation)
+        return violation
+
+    # -- the sliding window ------------------------------------------------
+
+    def _roll(self) -> None:
+        """Fold timeline entries that no outstanding operation can
+        still cut through into the frozen base set."""
+        self.windows += 1
+        safe = min(self._read_marks.values(), default=None)
+        horizon = len(self._recent_indices)
+        if safe is not None:
+            horizon = bisect_left(self._recent_indices, safe)
+        if horizon == 0:
+            return
+        self._base.update(self._recent_pairs[:horizon])
+        if safe is None and self._recent_indices:
+            self._compacted_to = self._recent_indices[horizon - 1] + 1
+        elif safe is not None:
+            self._compacted_to = safe
+        del self._recent_indices[:horizon]
+        del self._recent_pairs[:horizon]
+
+    # -- queries -----------------------------------------------------------
+
+    def expected(self, before_index: int) -> Set[Tuple[int, Any]]:
+        """Pairs of effective reads linearized before ``before_index``.
+
+        Only answerable for cuts the window has not compacted past
+        (every outstanding audit's cut, by construction).
+        """
+        if before_index < self._compacted_to:
+            raise ValueError(
+                f"cut {before_index} compacted away (window already "
+                f"rolled to {self._compacted_to})"
+            )
+        count = bisect_left(self._recent_indices, before_index)
+        return self._base | set(self._recent_pairs[:count])
+
+
+def windowed_audit_oracle(
+    register, *, lift=None, window: int = 1024
+) -> WindowedAuditOracle:
+    """Build a :class:`WindowedAuditOracle` for an auditable register
+    (uses its ``R`` name and value decoding)."""
+    return WindowedAuditOracle(
+        register.R.name,
+        decode=register._decode_value,
+        lift=lift,
+        window=window,
+    )
+
+
+def check_audit_exactness_streaming(
+    history: History, register, *, lift=None, window: int = 1024
+) -> List[AuditViolation]:
+    """Stream a recorded history through :class:`WindowedAuditOracle`.
+
+    Differential counterpart of :func:`check_audit_exactness` (or, with
+    ``lift``, of :func:`repro.engine.tasks.lifted_audit_violations`):
+    same violations, windowed carried state instead of a full-history
+    scan.
+    """
+    oracle = windowed_audit_oracle(register, lift=lift, window=window)
+    for event in history.events:
+        oracle.feed(event)
+    return oracle.violations
 
 
 def check_audit_monotone(history: History) -> List[str]:

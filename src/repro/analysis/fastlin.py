@@ -541,6 +541,14 @@ def _spec_builders() -> Dict[str, Callable[..., SeqSpec]]:
             scanner_index=None: specs.snapshot_spec(
                 components, initial, updater_index or {}, scanner_index
             ),
+        "stream_register": lambda initial="v0":
+            specs.stream_register_spec(initial),
+        "stream_max_register": lambda initial=0:
+            specs.stream_max_register_spec(initial),
+        "stream_snapshot": lambda components=1, initial=0,
+            updater_index=None: specs.stream_snapshot_spec(
+                components, initial, updater_index or {}
+            ),
     }
 
 

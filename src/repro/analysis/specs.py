@@ -195,6 +195,87 @@ def versioned_spec(
     )
 
 
+def stream_register_spec(
+    initial: Any, name: str = "stream_register"
+) -> SeqSpec:
+    """Value-only auditable-register spec for *streaming* validation.
+
+    The full :func:`auditable_register_spec` state carries the set of
+    all ``(reader, value)`` pairs, which grows with every distinct read
+    — sound for bounded histories, hopeless for million-op streams.
+    This spec keeps only the register value: reads are checked exactly,
+    audits are accepted unconditionally.  Audit exactness is *not*
+    weakened — it moves to the syntactic
+    :class:`~repro.analysis.audit_checks.WindowedAuditOracle`, which
+    Theorem 8 proves equivalent on fetch&xor-based implementations.
+    No reader tagging is needed, so the spec composes with untagged
+    event streams.
+    """
+
+    def apply(state, op_name, args, result):
+        if op_name == "write":
+            return args[0]
+        if op_name == "read":
+            if result is PENDING or result == state:
+                return state
+            return None
+        if op_name == "audit":
+            return state
+        return None
+
+    return SeqSpec(name, initial, apply)
+
+
+def stream_max_register_spec(
+    initial: Any, name: str = "stream_max_register"
+) -> SeqSpec:
+    """Value-only auditable-max-register spec (see
+    :func:`stream_register_spec` for why audits pass unchecked)."""
+
+    def apply(state, op_name, args, result):
+        if op_name in ("write_max", "writeMax"):
+            return max(state, args[0])
+        if op_name == "read":
+            if result is PENDING or result == state:
+                return state
+            return None
+        if op_name == "audit":
+            return state
+        return None
+
+    return SeqSpec(name, initial, apply)
+
+
+def stream_snapshot_spec(
+    components: int,
+    initial: Any,
+    updater_index: Dict[str, int],
+    name: str = "stream_snapshot",
+) -> SeqSpec:
+    """View-only snapshot spec for streaming validation.
+
+    ``update`` operations must be pid-tagged
+    (:func:`tag_ops_with_pid` offline, ``tag=`` hook of the streaming
+    checker online); scans check the full view; audits pass unchecked
+    (the lifted windowed audit oracle covers them).
+    """
+
+    def apply(state, op_name, args, result):
+        if op_name == "update":
+            value, pid = args[0], args[-1]
+            i = updater_index[pid]
+            return state[:i] + (value,) + state[i + 1:]
+        if op_name == "scan":
+            if result is PENDING or result == state:
+                return state
+            return None
+        if op_name == "audit":
+            return state
+        return None
+
+    return SeqSpec(name, (initial,) * components, apply)
+
+
 def register_array_spec(
     initial: Any = 0, name: str = "register_array"
 ) -> SeqSpec:

@@ -84,6 +84,8 @@ def make_runtime(
     build: Optional[Any] = None,
     build_args: tuple = (),
     faults: Optional[Any] = None,
+    event_log: Optional[str] = None,
+    retain_history: bool = True,
 ) -> Runtime:
     """Construct a runtime backend by name.
 
@@ -96,7 +98,14 @@ def make_runtime(
     process backend (the picklable system builder every process replays,
     and an optional :class:`~repro.rt.process_runtime.FaultPlan`); they
     are ignored by the others.
+
+    ``event_log`` streams every recorded history event to a JSONL file
+    (the :mod:`repro.sim.event_log` wire format) on any backend;
+    ``retain_history=False`` additionally disables history buffering
+    (:meth:`~repro.sim.history.History.stream_to`) so memory stays
+    bounded on unbounded runs — the online verdict paths' configuration.
     """
+    runtime: Runtime
     if kind == "sim":
         from repro.rt.sim_runtime import SimRuntime
         from repro.sim.runner import Simulation
@@ -105,12 +114,12 @@ def make_runtime(
         if schedule is None and seed is not None:
             schedule = RandomSchedule(seed)
         kwargs = {} if max_steps is None else {"max_steps": max_steps}
-        return SimRuntime(Simulation(schedule=schedule, **kwargs))
-    if kind == "thread":
+        runtime = SimRuntime(Simulation(schedule=schedule, **kwargs))
+    elif kind == "thread":
         from repro.rt.thread_runtime import ThreadRuntime
 
-        return ThreadRuntime()
-    if kind == "process":
+        runtime = ThreadRuntime()
+    elif kind == "process":
         from repro.rt.process_runtime import ProcessRuntime
 
         if build is None:
@@ -118,5 +127,26 @@ def make_runtime(
                 "the process runtime needs a picklable system builder: "
                 "make_runtime('process', build=..., build_args=...)"
             )
-        return ProcessRuntime(build, build_args, faults=faults)
-    raise ValueError(f"unknown runtime kind {kind!r} (sim|thread|process)")
+        # The history lives in the memory-server process; the sink
+        # ships there and streams server-side.
+        return ProcessRuntime(
+            build,
+            build_args,
+            faults=faults,
+            event_log=event_log,
+            retain_history=retain_history,
+        )
+    else:
+        raise ValueError(
+            f"unknown runtime kind {kind!r} (sim|thread|process)"
+        )
+    if event_log is not None or not retain_history:
+        sink = None
+        if event_log is not None:
+            from repro.sim.event_log import JsonlEventSink
+
+            sink = JsonlEventSink(event_log)
+        runtime.history.stream_to(sink, retain=retain_history)
+        # The caller closes the sink after a clean run (end marker).
+        runtime.event_sink = sink
+    return runtime

@@ -331,9 +331,22 @@ def _server_main(
     build,
     build_args: Tuple[Any, ...],
     faults: Optional[FaultPlan],
+    event_sink=None,
+    retain_history: bool = True,
 ) -> None:
-    """Own the objects and the history; serve primitives serially."""
+    """Own the objects and the history; serve primitives serially.
+
+    ``event_sink`` (e.g. a :class:`~repro.sim.event_log.JsonlEventSink`)
+    receives every history event as it is recorded — the streaming seam
+    for online verification.  With ``retain_history=False`` the history
+    stops buffering (bounded server memory; the final payload ships
+    only counters) — the event stream is then the sole record of the
+    run.  A server that dies mid-run leaves the sink's log without its
+    ``end`` marker, which consumers read as truncation (PARTIAL).
+    """
     history = History()
+    if event_sink is not None or not retain_history:
+        history.stream_to(event_sink, retain=retain_history)
     latencies: List[Tuple[str, str, float]] = []
     errors: List[Tuple[str, str]] = []
     crashed: List[str] = []
@@ -456,12 +469,15 @@ def _server_main(
             if len(active_list) != len(active):
                 active_list = list(active)
         release_delayed(due_only=False)
+        if event_sink is not None:
+            event_sink.close()
         out_conn.send(("ok", {
             "history": history,
             "steps": steps,
             "latencies": latencies,
             "crashed": crashed,
             "errors": errors,
+            "completed": history.completed_count,
         }))
     except BaseException:  # noqa: BLE001 - forwarded to the parent
         try:
@@ -497,6 +513,8 @@ class ProcessRuntime(Runtime):
         record_latency: bool = True,
         join_watchdog: Optional[float] = DEFAULT_WATCHDOG,
         start_method: Optional[str] = None,
+        event_log: Optional[Any] = None,
+        retain_history: bool = True,
     ) -> None:
         self._build = build
         self._build_args = tuple(build_args)
@@ -504,7 +522,19 @@ class ProcessRuntime(Runtime):
         self.record_latency = record_latency
         self.join_watchdog = join_watchdog
         self._start_method = start_method
+        # ``event_log`` streams every server-side history event to a
+        # JSONL file (a path here becomes a lazily-opened sink pickled
+        # into the server); ``retain_history=False`` additionally stops
+        # the server buffering the history — bounded memory for online
+        # runs, at the price of an empty ``history`` afterwards.
+        if isinstance(event_log, str):
+            from repro.sim.event_log import JsonlEventSink
+
+            event_log = JsonlEventSink(event_log)
+        self.event_log = event_log
+        self.retain_history = retain_history
         self._history = History()
+        self.completed_count = 0
         self.processes: Dict[str, PidRef] = {}
         self._specs: Dict[str, Dict[str, Any]] = {}
         self.latencies: List[Tuple[str, str, float]] = []
@@ -608,7 +638,7 @@ class ProcessRuntime(Runtime):
             target=_server_main,
             args=(
                 server_out, server_conns, self._build, self._build_args,
-                self.faults,
+                self.faults, self.event_log, self.retain_history,
             ),
             name="rt-memory-server",
             daemon=True,
@@ -700,6 +730,9 @@ class ProcessRuntime(Runtime):
             self._steps = payload["steps"]
             self.latencies = payload["latencies"]
             self.crashed = tuple(payload["crashed"])
+            self.completed_count = payload.get(
+                "completed", self._history.completed_count
+            )
             return self._history
         finally:
             for proc in everyone:

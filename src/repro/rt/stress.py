@@ -24,23 +24,34 @@ CLI entry point: ``python -m repro stress`` (see ``__main__``).
 from __future__ import annotations
 
 import math
+import os
+import tempfile
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro._seeding import stable_hash
-from repro.analysis.audit_checks import check_audit_exactness
+from repro.analysis.audit_checks import (
+    WindowedAuditOracle,
+    windowed_audit_oracle,
+)
 from repro.analysis.fastlin import (
     DEFAULT_MAX_NODES,
+    LIN_FAIL,
+    LIN_OK,
     LIN_UNDECIDED,
-    check_history,
 )
 from repro.analysis.specs import (
-    auditable_max_register_spec,
     auditable_register_spec,
-    snapshot_spec,
-    tag_ops_with_pid,
-    tag_reads,
+    stream_max_register_spec,
+    stream_register_spec,
+    stream_snapshot_spec,
+)
+from repro.analysis.streamlin import (
+    DEFAULT_WINDOW,
+    StreamingLinChecker,
+    tag_pid_op,
+    tag_read_op,
 )
 from repro.baselines.naive_auditable import NaiveAuditableRegister
 from repro.core.auditable_max_register import AuditableMaxRegister
@@ -49,7 +60,8 @@ from repro.core.auditable_snapshot import AuditableSnapshot
 from repro.crypto.nonce import NonceSource
 from repro.crypto.pad import OneTimePadSequence
 from repro.rt.process_runtime import FaultPlan, PidRef, ProcessRuntime
-from repro.rt.thread_runtime import ThreadRuntime
+from repro.rt.thread_runtime import DEFAULT_WATCHDOG, ThreadRuntime
+from repro.sim.event_log import JsonlEventSink, iter_event_log
 from repro.sim.history import History
 
 STRESS_OBJECTS = ("register", "max", "snapshot", "naive")
@@ -126,6 +138,11 @@ class StressReport:
     # (linearizability node budget exhausted) leaves lin_ok None -- the
     # run is reported, just not vouched for.
     lin_status: Optional[str] = None
+    # Online mode: events streamed (not buffered) into the incremental
+    # checker; ``stream`` carries its progress counters (frontier index,
+    # retired ops, peak resident ops, windows, ...).
+    online: bool = False
+    stream: Optional[Dict[str, Any]] = None
 
     @property
     def threads(self) -> int:
@@ -156,6 +173,8 @@ class StressReport:
             "lin_ok": self.lin_ok,
             "lin_status": self.lin_status,
             "audit_ok": self.audit_ok,
+            "online": self.online,
+            "stream": self.stream,
         }
 
     def render(self) -> str:
@@ -193,6 +212,14 @@ class StressReport:
                 lines.append(f"  [{audit}] audit exactness")
         else:
             lines.append("  (history not post-validated)")
+        if self.online and self.stream:
+            lines.append(
+                "  online        : "
+                f"frontier={self.stream.get('frontier_index')}  "
+                f"retired={self.stream.get('ops_retired')}  "
+                f"peak resident={self.stream.get('peak_resident_ops')}  "
+                f"windows={self.stream.get('windows')}"
+            )
         return "\n".join(lines)
 
 
@@ -330,6 +357,10 @@ def _build(
     snapshot_substrate: str,
     runtime: str = "thread",
     faults: Optional[FaultPlan] = None,
+    record_latency: bool = True,
+    event_log: Optional[Any] = None,
+    retain_history: bool = True,
+    join_watchdog: Optional[float] = DEFAULT_WATCHDOG,
 ) -> _StressSystem:
     """Construct the runtime, shared object and per-worker op sources."""
     if runtime not in STRESS_RUNTIMES:
@@ -341,7 +372,15 @@ def _build(
     reg = build_stress_register(*build_args)
     roster = _stress_pids(object_kind, r, w, a)
     if runtime == "process":
-        prt = ProcessRuntime(build_stress_register, build_args, faults=faults)
+        prt = ProcessRuntime(
+            build_stress_register,
+            build_args,
+            faults=faults,
+            record_latency=record_latency,
+            event_log=event_log,
+            retain_history=retain_history,
+            join_watchdog=join_watchdog,
+        )
         for pid, role, index in roster:
             prt.add_source_factory(
                 pid,
@@ -359,7 +398,11 @@ def _build(
                 "fault plans require the process runtime "
                 "(run_stress(..., runtime='process'))"
             )
-        trt = ThreadRuntime()
+        trt = ThreadRuntime(
+            record_latency=record_latency, join_watchdog=join_watchdog
+        )
+        if event_log is not None or not retain_history:
+            trt.history.stream_to(event_log, retain=retain_history)
         for pid, role, index in roster:
             trt.add_op_source(
                 pid,
@@ -373,16 +416,96 @@ def _build(
     return system
 
 
-def _lin_verdict(result) -> Tuple[Optional[bool], str]:
-    """Map a fastlin result onto (lin_ok, lin_status).
+def _lift_strip_version(j: int, v: Any) -> Tuple[int, Any]:
+    """Audits of objects built on an auditable max register strip the
+    version component (the streaming form of
+    :func:`repro.engine.tasks.lifted_audit_violations`)."""
+    return (j, v[1])
 
-    An undecided search (node budget exhausted) is *not* a violation:
-    ``lin_ok`` stays ``None`` so the run neither passes nor fails on
-    linearizability, and the status records why.
+
+class StressValidator:
+    """One streaming pass producing *both* stress verdicts.
+
+    The old post-validation walked the buffered history twice — once
+    through the linearizability checker, once through the audit oracle.
+    This feeds each event to the incremental
+    :class:`~repro.analysis.streamlin.StreamingLinChecker` and (where
+    the syntactic oracle applies) the
+    :class:`~repro.analysis.audit_checks.WindowedAuditOracle`
+    simultaneously, and works identically over a buffered history, a
+    live runtime stream (``online=True``) or a replayed event log
+    (``repro serve``).
     """
-    if result.status == LIN_UNDECIDED:
-        return None, LIN_UNDECIDED
-    return result.ok, result.status
+
+    def __init__(
+        self,
+        object_kind: str,
+        system: _StressSystem,
+        *,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        self.object_kind = object_kind
+        oracle: Optional[WindowedAuditOracle] = None
+        if object_kind == "snapshot":
+            spec = stream_snapshot_spec(
+                system.components, 0, system.updater_index
+            )
+            tag = tag_pid_op
+            oracle = windowed_audit_oracle(
+                system.register.M, lift=_lift_strip_version, window=window
+            )
+        elif object_kind == "max":
+            spec = stream_max_register_spec(0)
+            tag = None
+            oracle = windowed_audit_oracle(system.register, window=window)
+        elif object_kind == "register":
+            spec = stream_register_spec("v0")
+            tag = None
+            oracle = windowed_audit_oracle(system.register, window=window)
+        else:
+            # The naive design has no fetch&xor, so the syntactic
+            # oracle does not apply: audits are checked *inside* the
+            # sequential spec (pair-carrying state), which is fine at
+            # the naive baseline's bounded scales.
+            spec = auditable_register_spec("v0", system.reader_index)
+            tag = tag_read_op
+        self.checker = StreamingLinChecker(
+            spec, window=window, max_nodes_per_window=max_nodes, tag=tag
+        )
+        self.oracle = oracle
+
+    def __call__(self, event: Any) -> None:
+        self.checker.feed(event)
+        if self.oracle is not None:
+            self.oracle.feed(event)
+
+    feed = __call__
+
+    def verdict(
+        self, *, finished: bool = True
+    ) -> Tuple[Optional[bool], Optional[bool], str, Dict[str, Any]]:
+        """(lin_ok, audit_ok, lin_status, stream-progress payload).
+
+        ``finished=False`` (a truncated stream) reports the PARTIAL
+        verdict with the last verified frontier instead of pretending
+        the history ended cleanly.
+        """
+        result = self.checker.finish() if finished else self.checker.partial()
+        if result.status == LIN_OK:
+            lin: Optional[bool] = True
+        elif result.status == LIN_FAIL:
+            lin = False
+        else:  # undecided / partial: reported, not vouched for
+            lin = None
+        audit: Optional[bool] = None
+        payload = result.progress.to_payload()
+        payload["status"] = result.status
+        if self.oracle is not None:
+            audit = not self.oracle.violations
+            payload["audits_checked"] = self.oracle.audits_checked
+            payload["audit_violations"] = len(self.oracle.violations)
+        return lin, audit, result.status, payload
 
 
 def _validate(
@@ -390,35 +513,16 @@ def _validate(
     history: History,
     system: _StressSystem,
     max_nodes: int = DEFAULT_MAX_NODES,
+    window: int = DEFAULT_WINDOW,
 ) -> Tuple[Optional[bool], Optional[bool], str]:
-    """(linearizable?, audit-exact?, lin status) for the history."""
-    if object_kind == "snapshot":
-        spec = snapshot_spec(
-            system.components, 0, system.updater_index, system.scanner_index
-        )
-        lin, status = _lin_verdict(check_history(
-            tag_ops_with_pid(history.operations()), spec,
-            max_nodes=max_nodes,
-        ))
-        from repro.engine.tasks import lifted_audit_violations
-
-        audit: Optional[bool] = (
-            lifted_audit_violations(history, system.register.M) == 0
-        )
-        return lin, audit, status
-    if object_kind == "max":
-        spec = auditable_max_register_spec(0, system.reader_index)
-    else:
-        spec = auditable_register_spec("v0", system.reader_index)
-    lin, status = _lin_verdict(check_history(
-        tag_reads(history.operations()), spec, max_nodes=max_nodes
-    ))
-    if object_kind == "naive":
-        # The naive design has no fetch&xor, so the syntactic oracle
-        # does not apply; linearizability against the auditable spec is
-        # the whole check.
-        return lin, None, status
-    audit = not check_audit_exactness(history, system.register)
+    """(linearizable?, audit-exact?, lin status) — one pass over the
+    buffered history's events, both verdicts."""
+    validator = StressValidator(
+        object_kind, system, max_nodes=max_nodes, window=window
+    )
+    for event in history.events:
+        validator.feed(event)
+    lin, audit, status, _ = validator.verdict()
     return lin, audit, status
 
 
@@ -438,24 +542,50 @@ def run_stress(
     lin_max_nodes: int = DEFAULT_MAX_NODES,
     runtime: str = "thread",
     faults: Optional[FaultPlan] = None,
+    online: bool = False,
+    event_log: Optional[str] = None,
+    stream_window: Optional[int] = None,
+    record_latency: bool = True,
+    join_watchdog: Optional[float] = DEFAULT_WATCHDOG,
 ) -> StressReport:
     """One stress run; see the module docstring.
 
     ``ops`` is the per-worker operation budget (``None`` = unbounded,
     requires ``duration``).  ``validate`` defaults to on for bounded
-    budgets and off for duration-only runs, whose histories can be far
-    too large for the exponential linearizability search.
-    ``lin_max_nodes`` bounds that search: exhausting it yields an
-    UNDECIDED linearizability verdict (``lin_ok is None``), never a
-    crash.  ``runtime`` selects the backend (``thread`` or
-    ``process``); ``faults`` (process runtime only) injects message
-    delays and crashes at the memory server
+    budgets and for any online run, and off for buffered duration-only
+    runs, whose histories can be far too large for the exponential
+    linearizability search.  ``lin_max_nodes`` bounds that search:
+    exhausting it yields an UNDECIDED linearizability verdict
+    (``lin_ok is None``), never a crash.  ``runtime`` selects the
+    backend (``thread`` or ``process``); ``faults`` (process runtime
+    only) injects message delays and crashes at the memory server
     (:class:`~repro.rt.process_runtime.FaultPlan`).
+
+    ``online=True`` streams instead of buffering: history retention is
+    disabled and every event feeds the incremental checker as it is
+    recorded, so memory stays bounded by the in-flight window no matter
+    how long the run is — this is how duration-only runs get validated.
+    On the thread backend the validator taps the history seam directly
+    (under the history lock); on the process backend events stream to an
+    ``event_log`` file (a temporary one when not given) from the memory
+    server and are replayed through the same validator afterwards — a
+    missing end marker (server crash) yields a PARTIAL verdict with the
+    last verified frontier.  ``event_log`` alone (without ``online``)
+    just records the JSONL event log, e.g. for ``repro serve``.
+    ``stream_window`` sets the quiescence-window size (default
+    :data:`~repro.analysis.streamlin.DEFAULT_WINDOW`);
+    ``record_latency=False`` drops the O(n) per-op latency samples,
+    recommended for multi-minute bounded-memory runs.
+    ``join_watchdog`` bounds how long past the expected end a worker
+    may run before the harness reports it as hung (default 60s);
+    raise it for bounded op budgets that legitimately take minutes —
+    e.g. million-op online runs — or pass ``None`` for unbounded joins.
     """
     if ops is None and duration is None:
         raise ValueError("need an op budget (ops=) or a duration")
     if validate is None:
-        validate = ops is not None
+        validate = ops is not None or online
+    window = DEFAULT_WINDOW if stream_window is None else stream_window
     r, w, a = split_threads(threads, readers, writers, auditors)
     if object == "snapshot":
         # Updaters are the snapshot's components; there is always at
@@ -464,13 +594,75 @@ def run_stress(
         w = max(1, w)
     if r + w + a < 1:
         raise ValueError("no workers: all role counts are zero")
+
+    log_path = event_log
+    tmp_path: Optional[str] = None
+    if online and runtime == "process" and validate and log_path is None:
+        # The validator cannot cross the process boundary: the memory
+        # server streams to a (temporary) event log that is replayed
+        # through the validator once the run ends.
+        fd, tmp_path = tempfile.mkstemp(
+            prefix="repro-stress-", suffix=".jsonl"
+        )
+        os.close(fd)
+        log_path = tmp_path
+    file_sink: Optional[JsonlEventSink] = None
+    if log_path is not None:
+        # The hello line carries enough metadata for ``repro serve`` to
+        # rebuild this exact validator from the log alone.
+        file_sink = JsonlEventSink(log_path, meta={
+            "kind": "stress",
+            "object": object,
+            "r": r,
+            "w": w,
+            "a": a,
+            "seed": seed,
+            "max_substrate": max_substrate,
+            "snapshot_substrate": snapshot_substrate,
+            "window": window,
+        })
+
     system = _build(
         object, r, w, a, seed, ops, max_substrate, snapshot_substrate,
-        runtime=runtime, faults=faults,
+        runtime=runtime, faults=faults, record_latency=record_latency,
+        event_log=file_sink if runtime == "process" else None,
+        retain_history=not online,
+        join_watchdog=join_watchdog,
     )
     rt = system.runtime
-    history = rt.run(duration=duration)
 
+    validator: Optional[StressValidator] = None
+    if runtime != "process":
+        # Attach the live tap before the run starts.  The history lock
+        # serializes sink calls, so the validator sees events in index
+        # order without its own locking.
+        if online and validate:
+            validator = StressValidator(
+                object, system, max_nodes=lin_max_nodes, window=window
+            )
+            if file_sink is not None:
+                def sink(event, _feed=validator.feed, _tee=file_sink):
+                    _feed(event)
+                    _tee(event)
+            else:
+                sink = validator.feed
+            rt.history.stream_to(sink, retain=False)
+        elif online:
+            rt.history.stream_to(file_sink, retain=False)
+        elif file_sink is not None:
+            rt.history.stream_to(file_sink, retain=True)
+
+    history = rt.run(duration=duration)
+    if file_sink is not None and runtime != "process":
+        file_sink.close()  # clean run: write the end marker
+
+    if online:
+        completed = (
+            rt.completed_count if runtime == "process"
+            else history.completed_count
+        )
+    else:
+        completed = len(history.complete_operations())
     report = StressReport(
         object=object,
         readers=r,
@@ -480,9 +672,10 @@ def run_stress(
         ops_budget=ops,
         duration=duration,
         runtime=runtime,
-        ops_completed=len(history.complete_operations()),
+        ops_completed=completed,
         primitives=rt.steps_taken,
         elapsed=rt.elapsed,
+        online=online,
     )
     report.ops_per_sec = (
         report.ops_completed / rt.elapsed if rt.elapsed else 0.0
@@ -500,7 +693,36 @@ def run_stress(
         )
     if validate:
         report.validated = True
-        report.lin_ok, report.audit_ok, report.lin_status = _validate(
-            object, history, system, max_nodes=lin_max_nodes
-        )
+        if online and validator is not None:
+            lin, audit, status, stream = validator.verdict(finished=True)
+            report.lin_ok, report.audit_ok = lin, audit
+            report.lin_status = status
+            report.stream = stream
+        elif online:
+            # Process backend: replay the server-side event log.  The
+            # end marker proves the server finished cleanly; without it
+            # the stream is truncated and the verdict stays PARTIAL.
+            validator = StressValidator(
+                object, system, max_nodes=lin_max_nodes, window=window
+            )
+            finished = False
+            for kind, value in iter_event_log(log_path):
+                if kind == "end":
+                    finished = True
+                elif kind == "event":
+                    validator.feed(value)
+            lin, audit, status, stream = validator.verdict(finished=finished)
+            report.lin_ok, report.audit_ok = lin, audit
+            report.lin_status = status
+            report.stream = stream
+        else:
+            report.lin_ok, report.audit_ok, report.lin_status = _validate(
+                object, history, system,
+                max_nodes=lin_max_nodes, window=window,
+            )
+    if tmp_path is not None:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
     return report

@@ -56,13 +56,39 @@ class OperationRecord:
 
 
 class History:
-    """Append-only event log with query helpers."""
+    """Append-only event log with query helpers.
+
+    A *tap* can be attached with :meth:`stream_to`: every recorded
+    event is handed to the sink as it happens (the streaming seam the
+    online verdict paths — ``repro serve``, ``stress --online`` —
+    consume).  With ``retain=False`` the history stops buffering:
+    events are forwarded but not stored, and operation records are
+    pruned at their response, so memory stays bounded by the number of
+    *in-flight* operations regardless of run length.  Recording calls
+    are serialized by the runtime that owns the history (simulation
+    step loop, thread runtime's history lock, memory-server process),
+    so the sink inherits that mutual exclusion.
+    """
 
     def __init__(self) -> None:
         self.events: List[Any] = []
         self._index = 0
         self._ops: Dict[Tuple[str, int], OperationRecord] = {}
         self._op_order: List[Tuple[str, int]] = []
+        self._sink = None
+        self._retain = True
+        self.completed_count = 0
+
+    # -- streaming ---------------------------------------------------------
+
+    def stream_to(self, sink, retain: bool = True) -> None:
+        """Forward every subsequently recorded event to ``sink``.
+
+        ``retain=False`` additionally disables buffering (see class
+        docstring); the query helpers then only see in-flight state.
+        """
+        self._sink = sink
+        self._retain = retain
 
     # -- recording (used by Simulation) ----------------------------------
 
@@ -75,7 +101,6 @@ class History:
         self, pid: str, op_id: int, op_name: str, args: Tuple[Any, ...]
     ) -> Invocation:
         event = Invocation(self.next_index(), pid, op_id, op_name, args)
-        self.events.append(event)
         record = OperationRecord(
             pid=pid,
             op_id=op_id,
@@ -84,17 +109,27 @@ class History:
             invoke_index=event.index,
         )
         self._ops[record.key()] = record
-        self._op_order.append(record.key())
+        if self._retain:
+            self.events.append(event)
+            self._op_order.append(record.key())
+        if self._sink is not None:
+            self._sink(event)
         return event
 
     def record_response(
         self, pid: str, op_id: int, op_name: str, result: Any
     ) -> Response:
         event = Response(self.next_index(), pid, op_id, op_name, result)
-        self.events.append(event)
-        record = self._ops[(pid, op_id)]
-        record.response_index = event.index
-        record.result = result
+        self.completed_count += 1
+        if self._retain:
+            self.events.append(event)
+            record = self._ops[(pid, op_id)]
+            record.response_index = event.index
+            record.result = result
+        else:
+            self._ops.pop((pid, op_id), None)
+        if self._sink is not None:
+            self._sink(event)
         return event
 
     def record_primitive(
@@ -109,13 +144,19 @@ class History:
         event = PrimitiveEvent(
             self.next_index(), pid, op_id, obj_name, primitive, args, result
         )
-        self.events.append(event)
-        self._ops[(pid, op_id)].primitives.append(event)
+        if self._retain:
+            self.events.append(event)
+            self._ops[(pid, op_id)].primitives.append(event)
+        if self._sink is not None:
+            self._sink(event)
         return event
 
     def record_crash(self, pid: str, op_id: Optional[int]) -> CrashEvent:
         event = CrashEvent(self.next_index(), pid, op_id)
-        self.events.append(event)
+        if self._retain:
+            self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
         return event
 
     # -- queries ----------------------------------------------------------
