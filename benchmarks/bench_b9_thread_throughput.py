@@ -34,6 +34,13 @@ OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_rt.json"
 OPS_PER_THREAD = 50
 THREAD_LADDER = (1, 2, 4, 8)
 PROCESS_LADDER = (1, 2, 4, 8)
+#: Chaos ladder: message faults per 10k primitive requests.
+FAULT_LADDER = (0, 10, 100)
+#: Families armed for the ladder.  Delays and partitions postpone
+#: requests but never destroy them, so every rung completes its full
+#: workload and must stay green under the unchanged oracles -- the
+#: ladder measures what fault handling costs, not what faults break.
+FAULT_FAMILIES_ARMED = "delay,partition"
 
 
 def _sim_baseline_ops_per_sec() -> float:
@@ -99,6 +106,21 @@ def test_bench_thread_throughput(benchmark):
         "register", threads=8, ops=None, duration=1.0, runtime="process"
     )
 
+    fault_ladder = {}
+    for rate in FAULT_LADDER:
+        report = run_stress(
+            "register", threads=4, ops=OPS_PER_THREAD, seed=0,
+            runtime="process", faults=FAULT_FAMILIES_ARMED,
+            fault_rate=rate,
+        )
+        assert report.validated and report.ok, (
+            f"chaos stress failed validation at {rate}/10k faults"
+        )
+        fault_ladder[str(rate)] = report.to_payload()
+        benchmark.extra_info[f"ops_per_sec_{rate}f"] = round(
+            report.ops_per_sec, 1
+        )
+
     payload = {
         "bench": "b9_thread_throughput",
         "object": "register",
@@ -106,6 +128,8 @@ def test_bench_thread_throughput(benchmark):
         "cpu_count": os.cpu_count(),
         "thread_scaling": ladder,
         "process_scaling": process_ladder,
+        "fault_scaling": fault_ladder,
+        "fault_families": FAULT_FAMILIES_ARMED,
         "sustained_8t_unvalidated": sustained.to_payload(),
         "sustained_8p_unvalidated": process_sustained.to_payload(),
         "sim_baseline_ops_per_sec": round(sim_rate, 1),

@@ -493,6 +493,12 @@ def _fuzz(argv) -> int:
         help="PCT bug depth for --sampler pct (default: 3)",
     )
     parser.add_argument(
+        "--fault-max-rate", type=int, default=5000, metavar="N",
+        help="for --sampler fault: ceiling of the per-run fault rate "
+        "drawn from each seed, in faults per 10000 decisions "
+        "(default: 5000)",
+    )
+    parser.add_argument(
         "--schedules", type=int, default=256, metavar="N",
         help="schedules per target (default: 256)",
     )
@@ -633,6 +639,8 @@ def _fuzz(argv) -> int:
     sampler_params = {}
     if args.sampler == "pct":
         sampler_params["depth"] = args.pct_depth
+    if args.sampler == "fault":
+        sampler_params["max_rate_per_10k"] = args.fault_max_rate
     workers = args.workers or os.cpu_count() or 1
 
     def progress(done, total, record):
@@ -788,6 +796,18 @@ def _stress(argv) -> int:
         "interleavings still come from the OS scheduler",
     )
     parser.add_argument(
+        "--faults", default=None, metavar="FAMILIES",
+        help="chaos mode (process runtime only): comma-separated fault "
+        "families injected at the memory server, from: crash, delay, "
+        "partition, dup, omit, recover (e.g. --faults "
+        "crash,partition,dup)",
+    )
+    parser.add_argument(
+        "--fault-rate", type=int, default=100, metavar="N",
+        help="total faults per 10000 primitive requests, split across "
+        "the --faults families (default: 100)",
+    )
+    parser.add_argument(
         "--validate", dest="validate", action="store_true", default=None,
         help="force history post-validation (default: on for op "
         "budgets, off for duration-only runs)",
@@ -856,6 +876,8 @@ def _stress(argv) -> int:
             seed=args.seed,
             validate=args.validate,
             runtime=args.runtime,
+            faults=args.faults,
+            fault_rate=args.fault_rate,
             online=args.online,
             event_log=args.event_log,
             stream_window=args.stream_window,

@@ -28,11 +28,13 @@ from repro.fuzz.executor import (
     DEFAULT_MAX_STEPS,
     FuzzRunResult,
     ReplayMismatch,
+    decision_to_fault,
     replay_trace,
     run_one,
 )
 from repro.fuzz.samplers import (
     CoverageSampler,
+    FaultSampler,
     PCTSampler,
     ScheduleSampler,
     UniformSampler,
@@ -50,8 +52,10 @@ from repro.fuzz.targets import (
 from repro.fuzz.trace import (
     ScheduleTrace,
     TraceFormatError,
+    decision_weight,
     dumps_trace,
     loads_trace,
+    partition_entry,
     trace_from_payload,
     trace_to_payload,
 )
@@ -59,6 +63,7 @@ from repro.fuzz.trace import (
 __all__ = [
     "DEFAULT_MAX_STEPS",
     "CoverageSampler",
+    "FaultSampler",
     "FuzzRunResult",
     "FuzzTarget",
     "PCTSampler",
@@ -68,9 +73,12 @@ __all__ = [
     "ShrinkResult",
     "TraceFormatError",
     "UniformSampler",
+    "decision_to_fault",
+    "decision_weight",
     "dumps_trace",
     "get_target",
     "loads_trace",
+    "partition_entry",
     "register_target",
     "replay_trace",
     "run_one",

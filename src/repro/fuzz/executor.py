@@ -31,10 +31,27 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.fuzz.samplers import ScheduleSampler
 from repro.fuzz.targets import FuzzTarget
-from repro.fuzz.trace import CRASH, STEP, Decision, ScheduleTrace
+from repro.fuzz.trace import (
+    CRASH,
+    DUPLICATE,
+    OMIT,
+    PARTITION,
+    RECOVER,
+    STEP,
+    Decision,
+    ScheduleTrace,
+)
 from repro.sim.process import ProcessState
 from repro.sim.runner import Simulation
-from repro.sim.scheduler import CrashDecision, Schedule, ordered_by_pid
+from repro.sim.scheduler import (
+    CrashDecision,
+    DuplicateDecision,
+    OmitDecision,
+    PartitionDecision,
+    RecoverDecision,
+    Schedule,
+    ordered_by_pid,
+)
 
 #: Default per-run schedule-length budget.
 DEFAULT_MAX_STEPS = 2048
@@ -42,6 +59,24 @@ DEFAULT_MAX_STEPS = 2048
 
 class ReplayMismatch(RuntimeError):
     """A trace does not apply to the system its target builds."""
+
+
+def decision_to_fault(decision: Decision):
+    """The scheduler decision object for a non-step trace entry."""
+    kind = decision[0]
+    if kind == CRASH:
+        return CrashDecision(decision[1])
+    if kind == RECOVER:
+        return RecoverDecision(decision[1])
+    if kind == DUPLICATE:
+        return DuplicateDecision(decision[1])
+    if kind == OMIT:
+        return OmitDecision(decision[1])
+    if kind == PARTITION:
+        return PartitionDecision(
+            decision[1].split(","), steps=decision[2]
+        )
+    raise ValueError(f"unknown decision kind {kind!r}")
 
 
 @dataclass
@@ -72,19 +107,71 @@ def _judge(check: Callable, sim: Simulation, context) -> Optional[str]:
 
 class _RecordingSchedule(Schedule):
     """Adapts a sampler into the runner's schedule seam, recording
-    every decision and enforcing the target's crash policy."""
+    every decision and enforcing the target's crash and fault policy."""
 
     def __init__(
         self,
         sampler: ScheduleSampler,
         target: FuzzTarget,
         fingerprint=None,
+        sim: Optional[Simulation] = None,
     ) -> None:
         self.sampler = sampler
         self.target = target
         self.fingerprint = fingerprint
+        self.sim = sim
         self.decisions: List[Decision] = []
         self.crashes_used = 0
+        self.faults_used = 0
+
+    def _faultable(self, steppable):
+        """Per-step fault menu for the sampler: kind -> eligible pids.
+
+        Only faults that are *applicable right now* are offered, so a
+        recorded trace never contains a fault strict replay could not
+        re-apply (a duplicate with nothing to re-deliver, a recovery of
+        a live process).
+        """
+        target, sim = self.target, self.sim
+        if sim is None or not target.faults:
+            return None
+        if self.faults_used >= target.max_faults:
+            return None
+        menu = {}
+        for kind in target.faults:
+            if kind == DUPLICATE:
+                pids = [
+                    pid for pid in sim.duplicable_pids()
+                    if target.fault_eligible(pid)
+                ]
+            elif kind == RECOVER:
+                pids = [
+                    pid for pid in sim.recoverable_pids()
+                    if target.fault_eligible(pid)
+                ]
+            elif kind == OMIT:
+                pids = [
+                    pid for pid in steppable
+                    if target.fault_eligible(pid)
+                    and sim.processes[pid].is_mid_operation()
+                ]
+            elif kind == PARTITION:
+                # Severing the whole runnable set is pointless (the
+                # runner heals an all-partitioned system immediately),
+                # so partitions need at least two steppable processes.
+                pids = (
+                    [
+                        pid for pid in steppable
+                        if target.fault_eligible(pid)
+                    ]
+                    if len(steppable) >= 2
+                    else []
+                )
+            else:
+                continue
+            if pids:
+                menu[kind] = tuple(pids)
+        return menu or None
 
     def choose(self, runnable, step_index):
         # The runner hands schedules an already pid-sorted list
@@ -100,15 +187,21 @@ class _RecordingSchedule(Schedule):
             if self.crashes_used < self.target.max_crashes
             else []
         )
+        faultable = self._faultable(steppable)
         fp = self.fingerprint() if self.fingerprint is not None else None
-        kind, pid = self.sampler.choose(
-            steppable, crashable, step_index, fingerprint=fp
-        )
-        self.decisions.append((kind, pid))
+        decision = tuple(self.sampler.choose(
+            steppable, crashable, step_index,
+            fingerprint=fp, faultable=faultable,
+        ))
+        self.decisions.append(decision)
+        kind = decision[0]
+        if kind == STEP:
+            return ordered[steppable.index(decision[1])]
         if kind == CRASH:
             self.crashes_used += 1
-            return CrashDecision(pid)
-        return ordered[steppable.index(pid)]
+        else:
+            self.faults_used += 1
+        return decision_to_fault(decision)
 
 
 def run_one(
@@ -132,7 +225,7 @@ def run_one(
             return configuration_fingerprint(sim, vault)[0]
 
     sampler.begin_run(seed, sorted(sim.processes), max_steps)
-    schedule = _RecordingSchedule(sampler, target, fingerprint)
+    schedule = _RecordingSchedule(sampler, target, fingerprint, sim=sim)
     sim.schedule = schedule
     verdict_exc: Optional[str] = None
     try:
@@ -181,10 +274,14 @@ class _ScriptedSchedule(Schedule):
                 "trace exhausted but processes are still runnable: "
                 f"{sorted(p.pid for p in runnable)}"
             )
-        kind, pid = self.decisions[self.cursor]
+        decision = self.decisions[self.cursor]
         self.cursor += 1
-        if kind == CRASH:
-            return CrashDecision(pid)
+        if decision[0] != STEP:
+            # Faults apply unconditionally: the runner raises (and the
+            # caller reports a verdict) if the trace lies about
+            # applicability, which a recorded trace never does.
+            return decision_to_fault(decision)
+        pid = decision[1]
         for process in runnable:
             if process.pid == pid:
                 return process
@@ -238,6 +335,35 @@ def replay_trace(target: FuzzTarget, trace: ScheduleTrace) -> FuzzRunResult:
 # Tolerant execution (the shrinker's probe)
 # ----------------------------------------------------------------------
 
+def _fault_applicable(sim: Simulation, decision: Decision) -> bool:
+    """Would strict replay be able to consume this fault right now?
+
+    The rules mirror what :class:`_RecordingSchedule` offers samplers,
+    so every decision the lenient pass keeps is one a recorded trace
+    could contain.
+    """
+    kind = decision[0]
+    if kind == CRASH:
+        process = sim.processes.get(decision[1])
+        return (
+            process is not None
+            and process.state is not ProcessState.CRASHED
+        )
+    if kind == RECOVER:
+        return decision[1] in sim.recoverable_pids()
+    if kind == DUPLICATE:
+        return decision[1] in sim.duplicable_pids()
+    if kind == OMIT:
+        process = sim.processes.get(decision[1])
+        return process is not None and process.is_mid_operation()
+    if kind == PARTITION:
+        return any(
+            pid in sim.processes and sim.processes[pid].has_work()
+            for pid in decision[1].split(",")
+        )
+    return False
+
+
 def run_decisions_lenient(
     target: FuzzTarget,
     decisions: Sequence[Decision],
@@ -249,13 +375,16 @@ def run_decisions_lenient(
     Returns ``(verdict, effective decisions)``.  The effective sequence
     contains exactly the decisions that executed (applied candidates
     plus deterministic completion steps), so it is closed: replaying it
-    strictly reproduces this execution.
+    strictly reproduces this execution.  Faults consume one step each
+    (:meth:`Simulation.inject` mirrors :meth:`Simulation.step`), so
+    partition-heal arithmetic agrees between this pass and strict
+    replay of its effective sequence.
     """
     factory, check = target.build()
     sim, context = factory()
     applied: List[Decision] = []
     try:
-        for kind, pid in decisions:
+        for decision in decisions:
             if len(applied) >= max_steps:
                 break
             if not sim.runnable():
@@ -264,26 +393,33 @@ def run_decisions_lenient(
                 # could never be consumed by strict replay, so keeping
                 # it would break the closure contract.
                 break
-            if kind == CRASH:
-                process = sim.processes.get(pid)
-                if (
-                    process is None
-                    or process.state is ProcessState.CRASHED
-                ):
+            kind = decision[0]
+            if kind != STEP:
+                if not _fault_applicable(sim, decision):
                     continue
-                applied.append((CRASH, pid))
-                sim.crash(pid)
+                applied.append(decision)
+                sim.inject(decision_to_fault(decision))
                 continue
+            pid = decision[1]
             process = sim.processes.get(pid)
             if process is None or not process.has_work():
+                continue
+            if sim.is_partitioned(pid):
+                # Strict replay could not step a severed pid.  This
+                # check errs conservative (healing is monotone), so a
+                # skipped step only shortens the effective sequence --
+                # never breaks its replayability.
                 continue
             # Appended before stepping so that a decision whose step
             # raises is still part of the effective sequence (matching
             # run_one, which records the decision as it is chosen).
             applied.append((STEP, pid))
             sim.step_process(pid)
-        while sim.runnable() and len(applied) < max_steps:
-            pid = min(p.pid for p in sim.runnable())
+        while len(applied) < max_steps:
+            visible = sim.schedulable()
+            if not visible:
+                break
+            pid = min(p.pid for p in visible)
             applied.append((STEP, pid))
             sim.step_process(pid)
     except Exception as exc:

@@ -11,10 +11,13 @@ the sampler owns *choice*.  Per run the runner calls
   population and the step budget, then
 - :meth:`ScheduleSampler.choose` once per decision point with the
   steppable pids (sorted), the crash-eligible pids (sorted; empty when
-  fault injection is off or the crash budget is spent), the step index
-  and -- for samplers that declare ``needs_fingerprints`` -- the
+  fault injection is off or the crash budget is spent), the step
+  index, -- for samplers that declare ``needs_fingerprints`` -- the
   current state fingerprint from
-  :func:`repro.mc.configuration_fingerprint`.
+  :func:`repro.mc.configuration_fingerprint`, and -- when the target
+  arms message faults -- a ``faultable`` menu mapping each
+  currently-applicable fault kind (``recover``/``dup``/``omit``/
+  ``partition``) to its eligible pids.
 
 Determinism: every random draw comes from a ``random.Random`` seeded in
 ``begin_run`` via :func:`repro._seeding.stable_hash`, so a (sampler,
@@ -41,6 +44,15 @@ Provided samplers:
   re-walking the hot path.  Fingerprints are exactly the model
   checker's (:func:`repro.mc.configuration_fingerprint`), so "novel"
   means "a state the checker would not have merged".
+- :class:`FaultSampler` -- fault-pressure sweep: each run derives a
+  :class:`repro.faults.SeededFaultPlan`-style fault rate from its own
+  seed, so one campaign explores quiet runs and storms alike without a
+  tuning knob.  Scheduling itself stays a uniform walk.
+
+Determinism under the fault extension: the fault coin is drawn only
+when a ``faultable`` menu is offered, and menus are only offered for
+targets that arm fault families -- for every pre-fault target the RNG
+consumption (hence the decision sequence per seed) is unchanged.
 """
 
 from __future__ import annotations
@@ -49,7 +61,16 @@ import random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro._seeding import stable_hash
-from repro.fuzz.trace import CRASH, STEP, Decision
+from repro.fuzz.trace import (
+    CRASH,
+    PARTITION,
+    STEP,
+    Decision,
+    partition_entry,
+)
+
+#: The faultable-menu type: fault kind -> eligible pids, this step.
+FaultMenu = Dict[str, Tuple[str, ...]]
 
 
 class ScheduleSampler:
@@ -59,8 +80,15 @@ class ScheduleSampler:
     #: Whether choose() must be given a state fingerprint.
     needs_fingerprints = False
 
-    def __init__(self, crash_rate: float = 0.25) -> None:
+    def __init__(
+        self,
+        crash_rate: float = 0.25,
+        fault_rate: float = 0.25,
+        partition_steps: int = 4,
+    ) -> None:
         self.crash_rate = crash_rate
+        self.fault_rate = fault_rate
+        self.partition_steps = partition_steps
         self._rng = random.Random(0)
 
     def begin_run(
@@ -75,6 +103,7 @@ class ScheduleSampler:
         crashable: Sequence[str],
         step_index: int,
         fingerprint: Optional[int] = None,
+        faultable: Optional[FaultMenu] = None,
     ) -> Decision:
         raise NotImplementedError
 
@@ -86,16 +115,56 @@ class ScheduleSampler:
             return (CRASH, self._rng.choice(list(crashable)))
         return None
 
+    def _fault_candidates(
+        self, faultable: FaultMenu
+    ) -> List[Decision]:
+        """The trace decisions a faultable menu offers, in stable order.
+
+        Partitions are offered per single pid plus (when the menu has
+        several) the whole eligible set -- bounded where subsets would
+        explode, while still able to sever a group at once.
+        """
+        candidates: List[Decision] = []
+        for kind in sorted(faultable):
+            pids = faultable[kind]
+            if kind == PARTITION:
+                candidates.extend(
+                    partition_entry((pid,), self.partition_steps)
+                    for pid in pids
+                )
+                if len(pids) > 1:
+                    candidates.append(
+                        partition_entry(pids, self.partition_steps)
+                    )
+            else:
+                candidates.extend((kind, pid) for pid in pids)
+        return candidates
+
+    def _maybe_fault(
+        self, faultable: Optional[FaultMenu]
+    ) -> Optional[Decision]:
+        """Shared message-fault coin flip (drawn only when a menu is
+        offered, so pre-fault targets consume RNG exactly as before)."""
+        if faultable and self._rng.random() < self.fault_rate:
+            candidates = self._fault_candidates(faultable)
+            if candidates:
+                return self._rng.choice(candidates)
+        return None
+
 
 class UniformSampler(ScheduleSampler):
     """Uniform random walk over the runnable set."""
 
     name = "uniform"
 
-    def choose(self, steppable, crashable, step_index, fingerprint=None):
+    def choose(self, steppable, crashable, step_index,
+               fingerprint=None, faultable=None):
         crash = self._maybe_crash(crashable)
         if crash is not None:
             return crash
+        fault = self._maybe_fault(faultable)
+        if fault is not None:
+            return fault
         return (STEP, self._rng.choice(list(steppable)))
 
 
@@ -152,7 +221,8 @@ class PCTSampler(ScheduleSampler):
             prio = self._priority[pid] = self._floor
         return prio
 
-    def choose(self, steppable, crashable, step_index, fingerprint=None):
+    def choose(self, steppable, crashable, step_index,
+               fingerprint=None, faultable=None):
         self._steps_this_run += 1
         # Apply the change point before (and independently of) the
         # crash draw: a crash landing on a change-point step must not
@@ -165,6 +235,9 @@ class PCTSampler(ScheduleSampler):
         crash = self._maybe_crash(crashable)
         if crash is not None:
             return crash
+        fault = self._maybe_fault(faultable)
+        if fault is not None:
+            return fault
         return (STEP, max(steppable, key=self._prio))
 
 
@@ -186,11 +259,14 @@ class CoverageSampler(ScheduleSampler):
         self.seen: set = set()
         self.states: set = set()
 
-    def choose(self, steppable, crashable, step_index, fingerprint=None):
+    def choose(self, steppable, crashable, step_index,
+               fingerprint=None, faultable=None):
         self.states.add(fingerprint)
         candidates: List[Decision] = [(STEP, pid) for pid in steppable]
         if crashable and self._rng.random() < self.crash_rate:
             candidates += [(CRASH, pid) for pid in crashable]
+        if faultable and self._rng.random() < self.fault_rate:
+            candidates += self._fault_candidates(faultable)
         novel = [
             decision
             for decision in candidates
@@ -201,11 +277,55 @@ class CoverageSampler(ScheduleSampler):
         return decision
 
 
+class FaultSampler(ScheduleSampler):
+    """Uniform scheduling under a per-run random fault rate.
+
+    ``begin_run`` draws the run's fault pressure from its seed --
+    :class:`repro.faults.SeededFaultPlan`-style basis points out of
+    10000, up to ``max_rate_per_10k`` -- so a campaign over many seeds
+    sweeps the rate space from near-quiet runs to fault storms.  Crash
+    injection keeps the shared ``crash_rate`` coin; the drawn rate
+    governs the message-fault families the target arms.
+    """
+
+    name = "fault"
+
+    def __init__(
+        self,
+        crash_rate: float = 0.25,
+        max_rate_per_10k: int = 5000,
+        partition_steps: int = 4,
+    ) -> None:
+        super().__init__(
+            crash_rate=crash_rate, partition_steps=partition_steps
+        )
+        if max_rate_per_10k < 1:
+            raise ValueError("max_rate_per_10k must be >= 1")
+        self.max_rate_per_10k = max_rate_per_10k
+
+    def begin_run(self, seed, pids, max_steps):
+        super().begin_run(seed, pids, max_steps)
+        self.fault_rate = (
+            self._rng.randint(1, self.max_rate_per_10k) / 10_000.0
+        )
+
+    def choose(self, steppable, crashable, step_index,
+               fingerprint=None, faultable=None):
+        crash = self._maybe_crash(crashable)
+        if crash is not None:
+            return crash
+        fault = self._maybe_fault(faultable)
+        if fault is not None:
+            return fault
+        return (STEP, self._rng.choice(list(steppable)))
+
+
 def _sampler_builders() -> Dict[str, Callable[..., ScheduleSampler]]:
     return {
         "uniform": UniformSampler,
         "pct": PCTSampler,
         "coverage": CoverageSampler,
+        "fault": FaultSampler,
     }
 
 

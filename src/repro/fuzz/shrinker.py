@@ -24,13 +24,17 @@ and returns a locally-minimal trace with the *identical* verdict:
   shrinking it again is a no-op returning the byte-identical trace
   (asserted by the test suite).
 
-Two reduction operators make up the family:
+Four reduction operators make up the family:
 
 - *window removal* -- drop a contiguous window of decisions (classic
   ddmin, coarse-to-fine).  Note that for crash-free targets the
   effective length of a completed run is an invariant (every process
   must finish its fixed program, in any order), so removal alone
   reorders rather than shortens;
+- *fault removal* -- drop one injected fault decision.  Subsumed by
+  window removal in the limit, but faults are few and removing one is
+  the probe that answers the question a counterexample exists to
+  answer: is this fault load-bearing for the violation, or noise?
 - *crash replacement* -- replace one ``("step", pid)`` decision with
   ``("crash", pid)``, discharging that process's remaining work in a
   single decision.  This is what actually shortens counterexamples
@@ -42,7 +46,13 @@ Two reduction operators make up the family:
   not bind here: crash-stop is a legal behavior of the asynchronous
   model for every process, so a shrunk trace may crash processes the
   samplers would not have -- the oracle re-validation, not the
-  sampling policy, is what keeps the result a genuine counterexample.
+  sampling policy, is what keeps the result a genuine counterexample;
+- *fault weakening* -- replace a partition with a weaker one (half the
+  sever window, or one fewer severed pid).  Weakening keeps the
+  decision count, so acceptance is lexicographic: a candidate wins by
+  being strictly shorter, or equal-length with strictly lower total
+  :func:`repro.fuzz.trace.decision_weight` -- "the smallest schedule,
+  then the gentlest faults that still reproduce".
 
 Complexity: O(len^2) oracle executions in the worst case, bounded by
 ``max_checks``; hitting the budget returns the best trace found so far
@@ -56,7 +66,29 @@ from typing import List, Optional, Tuple
 
 from repro.fuzz.executor import DEFAULT_MAX_STEPS, run_decisions_lenient
 from repro.fuzz.targets import FuzzTarget
-from repro.fuzz.trace import CRASH, STEP, Decision, ScheduleTrace
+from repro.fuzz.trace import (
+    CRASH,
+    PARTITION,
+    STEP,
+    Decision,
+    ScheduleTrace,
+    decision_weight,
+    partition_entry,
+)
+
+
+def _weight(decisions) -> int:
+    return sum(decision_weight(decision) for decision in decisions)
+
+
+def _better(effective, current) -> bool:
+    """Strictly-decreasing shrink measure: (length, total fault weight)."""
+    if len(effective) < len(current):
+        return True
+    return (
+        len(effective) == len(current)
+        and _weight(effective) < _weight(current)
+    )
 
 
 @dataclass
@@ -125,7 +157,7 @@ def shrink_trace(
                     break
                 candidate = current[:start] + current[start + window:]
                 effective = probe(candidate)
-                if effective is not None and len(effective) < len(current):
+                if effective is not None and _better(effective, current):
                     current = list(effective)
                     cascade_progressed = True
                     start = min(start, len(current) - window)
@@ -134,29 +166,87 @@ def shrink_trace(
             if budget_hit or window == 1:
                 break
             window = max(1, window // 2)
-        # Pass 2: crash replacement, every position (a violation may
+        # Pass 2: fault removal, each injected fault individually.
+        if budget_hit:
+            break
+        index = 0
+        while index < len(current):
+            if current[index][0] == STEP:
+                index += 1
+                continue
+            if checks >= max_checks:
+                budget_hit = True
+                break
+            candidate = current[:index] + current[index + 1:]
+            effective = probe(candidate)
+            if effective is not None and _better(effective, current):
+                current = list(effective)
+                cascade_progressed = True
+                # Restart: the effective sequence may have reordered.
+                index = 0
+            else:
+                index += 1
+        # Pass 3: crash replacement, every position (a violation may
         # need a prefix of the victim's steps before the crash).
         if budget_hit:
             break
         index = 0
         while index < len(current):
-            kind, pid = current[index]
-            if kind != STEP:
+            decision = current[index]
+            if decision[0] != STEP:
                 index += 1
                 continue
             if checks >= max_checks:
                 budget_hit = True
                 break
             candidate = list(current)
-            candidate[index] = (CRASH, pid)
+            candidate[index] = (CRASH, decision[1])
             effective = probe(candidate)
-            if effective is not None and len(effective) < len(current):
+            if effective is not None and _better(effective, current):
                 current = list(effective)
                 cascade_progressed = True
                 # Restart: the shorter run exposes new crash points.
                 index = 0
             else:
                 index += 1
+        # Pass 4: fault weakening -- shorter partitions, fewer severed
+        # pids.  Equal-length candidates win on lower total weight.
+        if budget_hit:
+            break
+        index = 0
+        while index < len(current):
+            decision = current[index]
+            if decision[0] != PARTITION:
+                index += 1
+                continue
+            pids = decision[1].split(",")
+            steps = decision[2]
+            replacements = []
+            if steps > 1:
+                replacements.append(partition_entry(pids, steps // 2))
+            if len(pids) > 1:
+                replacements.extend(
+                    partition_entry(
+                        [p for p in pids if p != victim], steps
+                    )
+                    for victim in pids
+                )
+            weakened = False
+            for replacement in replacements:
+                if checks >= max_checks:
+                    budget_hit = True
+                    break
+                candidate = list(current)
+                candidate[index] = replacement
+                effective = probe(candidate)
+                if effective is not None and _better(effective, current):
+                    current = list(effective)
+                    cascade_progressed = True
+                    weakened = True
+                    break
+            if budget_hit:
+                break
+            index = 0 if weakened else index + 1
     return ShrinkResult(
         trace=trace.with_decisions(tuple(current), wanted),
         original_len=len(trace.decisions),

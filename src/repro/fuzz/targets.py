@@ -60,6 +60,14 @@ class FuzzTarget:
     crashable: Tuple[str, ...] = ()
     #: Injected-crash budget per run (sampling-time).
     max_crashes: int = 1
+    #: Message-fault families armed for sampling, as trace decision
+    #: kinds ("recover", "dup", "omit", "partition"); empty = off.
+    faults: Tuple[str, ...] = ()
+    #: pid prefixes eligible for message faults (empty = all pids).
+    fault_pids: Tuple[str, ...] = ()
+    #: Injected message-fault budget per run (crashes count separately
+    #: against max_crashes).
+    max_faults: int = 1
     #: The catalogue knows schedules of this target violate its oracle.
     expect_violation: bool = False
     description: str = ""
@@ -73,6 +81,13 @@ class FuzzTarget:
         if not self.crashable:
             return True
         return pid.startswith(self.crashable)
+
+    def fault_eligible(self, pid: str) -> bool:
+        if not self.faults:
+            return False
+        if not self.fault_pids:
+            return True
+        return pid.startswith(self.fault_pids)
 
 
 _REGISTRY: Dict[str, FuzzTarget] = {}
@@ -196,8 +211,13 @@ def alg1_crash_scenario():
         # judge (without it the check is vacuous -- no audit
         # operations, nothing to compare): Lemma 5 says it must report
         # every read that became effective, *including* reads whose
-        # reader crashed after its announcing fetch&xor.
-        post = reg.auditor(sim.spawn(f"post-auditor-{sim.steps_taken}"))
+        # reader crashed after its announcing fetch&xor.  The pid is
+        # fixed (fuzz checks always judge a fresh sim, unlike the model
+        # checker's restored-state re-checks) so that exactness
+        # verdicts -- which name the auditor -- stay identical across
+        # runs of different lengths; the shrinker accepts a candidate
+        # only on the exact verdict string.
+        post = reg.auditor(sim.spawn("post-auditor"))
         sim.add_program(post.pid, [post.audit_op()])
         sim.run_process(post.pid)
         problems = check_audit_exactness(sim.history, reg)
@@ -216,5 +236,29 @@ register_target(FuzzTarget(
     description=(
         "Algorithm 1 under the crash-injecting fuzzer: audit "
         "exactness holds on every sampled schedule"
+    ),
+))
+
+
+# Algorithm 1 under message *duplication*: the announcing fetch&xor is
+# not idempotent (XOR is an involution), so re-delivering a reader's
+# announce flips its bit in R back off and the post-hoc audit misses
+# that read -- a genuine audit-exactness violation witnessing that the
+# paper's guarantee assumes at-most-once delivery between processes
+# and memory.  Duplicates are schedule decisions, so the shrinker
+# hands back a minimal interleaving-plus-duplicate recipe and
+# ``repro fuzz --replay`` re-executes it byte-identically.
+register_target(FuzzTarget(
+    name="alg1-dup-audit",
+    builder=alg1_crash_scenario,
+    crashes=False,
+    faults=("dup",),
+    fault_pids=("r",),
+    max_faults=1,
+    expect_violation=True,
+    description=(
+        "Algorithm 1 under message duplication: re-delivered "
+        "announce fetch&xor un-announces a read, so the audit "
+        "misses it (at-most-once delivery is load-bearing)"
     ),
 ))

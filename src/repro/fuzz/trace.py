@@ -15,11 +15,16 @@ serializes to the same bytes as the original (asserted by
 ``python -m repro fuzz --replay`` and the fuzz test suite).
 
 Decisions are ``("step", pid)`` -- step that process once through the
-runner's one-primitive-per-step protocol -- or ``("crash", pid)`` --
-crash it via the :class:`repro.sim.scheduler.CrashDecision` hook.  A
-trace whose decisions were recorded from a completed run is *closed*:
-after applying all decisions no process is runnable, so the oracle
-judges a complete execution.
+runner's one-primitive-per-step protocol -- or a fault from the
+schedule-decision vocabulary of :mod:`repro.sim.scheduler`:
+``("crash", pid)``, ``("recover", pid)``, ``("dup", pid)`` (re-deliver
+the pid's most recently applied primitive), ``("omit", pid)`` (drop
+its in-flight primitive), and the one three-field entry,
+``("partition", "p,q", steps)`` -- sever the comma-joined pid set from
+memory for ``steps`` scheduler steps.  A trace whose decisions were
+recorded from a completed run is *closed*: after applying all
+decisions no process is runnable, so the oracle judges a complete
+execution.
 
 Serialization follows the repository's canonical-JSON conventions
 (PR 4's history codec, the engine's JSONL records): tagged structure,
@@ -39,8 +44,37 @@ TRACE_FORMAT = "repro.fuzz.trace/1"
 #: Decision kinds a trace may contain.
 STEP = "step"
 CRASH = "crash"
+RECOVER = "recover"
+DUPLICATE = "dup"
+OMIT = "omit"
+PARTITION = "partition"
 
-Decision = Tuple[str, str]  # (kind, pid)
+#: Two-field decision kinds: (kind, pid).
+PID_KINDS = frozenset({STEP, CRASH, RECOVER, DUPLICATE, OMIT})
+#: Fault kinds (everything that is not a plain step).
+FAULT_KINDS = frozenset({CRASH, RECOVER, DUPLICATE, OMIT, PARTITION})
+
+# (kind, pid) for PID_KINDS; (PARTITION, "p,q", steps) for partitions.
+Decision = Tuple[Any, ...]
+
+
+def partition_entry(pids, steps: int) -> Decision:
+    """The canonical trace entry for a partition: pid set sorted,
+    deduplicated and comma-joined, so equal decisions always serialize
+    to equal bytes."""
+    return (PARTITION, ",".join(sorted(set(pids))), int(steps))
+
+
+def decision_weight(decision: Decision) -> int:
+    """How much fault the decision carries (the shrinker minimizes
+    total weight at equal length: a weaker partition is a simpler
+    counterexample even when the decision count ties)."""
+    kind = decision[0]
+    if kind == STEP:
+        return 0
+    if kind == PARTITION:
+        return int(decision[2])
+    return 1
 
 
 class TraceFormatError(ValueError):
@@ -75,7 +109,7 @@ def trace_to_payload(trace: ScheduleTrace) -> Dict[str, Any]:
         "target": trace.target,
         "seed": trace.seed,
         "sampler": trace.sampler,
-        "decisions": [[kind, pid] for kind, pid in trace.decisions],
+        "decisions": [list(entry) for entry in trace.decisions],
         "verdict": trace.verdict,
     }
 
@@ -91,14 +125,26 @@ def trace_from_payload(payload: Any) -> ScheduleTrace:
         )
     decisions = []
     for entry in payload.get("decisions", ()):
-        if (
-            not isinstance(entry, (list, tuple))
-            or len(entry) != 2
-            or entry[0] not in (STEP, CRASH)
-            or not isinstance(entry[1], str)
-        ):
+        if not isinstance(entry, (list, tuple)):
             raise TraceFormatError(f"bad decision entry {entry!r}")
-        decisions.append((entry[0], entry[1]))
+        if (
+            len(entry) == 2
+            and entry[0] in PID_KINDS
+            and isinstance(entry[1], str)
+        ):
+            decisions.append((entry[0], entry[1]))
+        elif (
+            len(entry) == 3
+            and entry[0] == PARTITION
+            and isinstance(entry[1], str)
+            and entry[1]
+            and isinstance(entry[2], int)
+            and not isinstance(entry[2], bool)
+            and entry[2] >= 1
+        ):
+            decisions.append((PARTITION, entry[1], entry[2]))
+        else:
+            raise TraceFormatError(f"bad decision entry {entry!r}")
     verdict = payload.get("verdict")
     if verdict is not None and not isinstance(verdict, str):
         raise TraceFormatError("trace verdict must be a string or null")

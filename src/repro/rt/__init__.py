@@ -15,12 +15,14 @@
   ``python -m repro stress`` (:mod:`repro.rt.stress`).
 """
 
+from repro.faults import FAULT_FAMILIES, chaos_plan, parse_fault_families
 from repro.rt.base import Runtime, make_runtime
 from repro.rt.process_runtime import (
     CrashedByServer,
     FaultPlan,
     ObjectRegistry,
     PidRef,
+    PrimitiveOmitted,
     ProcessRuntime,
     ScriptedFaultPlan,
     SeededFaultPlan,
@@ -40,9 +42,11 @@ from repro.rt.thread_runtime import ThreadProcess, ThreadRuntime
 
 __all__ = [
     "CrashedByServer",
+    "FAULT_FAMILIES",
     "FaultPlan",
     "ObjectRegistry",
     "PidRef",
+    "PrimitiveOmitted",
     "ProcessRuntime",
     "Runtime",
     "STRESS_OBJECTS",
@@ -54,7 +58,9 @@ __all__ = [
     "ThreadProcess",
     "ThreadRuntime",
     "build_stress_register",
+    "chaos_plan",
     "make_runtime",
+    "parse_fault_families",
     "percentile_summary",
     "run_stress",
     "split_threads",

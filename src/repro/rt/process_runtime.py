@@ -36,13 +36,30 @@ closed-over :class:`~repro.sim.process.Op` lists: the worker must be
 able to rebuild them on its side of the fork/spawn boundary.
 
 **Faults are schedule decisions.**  Before applying a primitive the
-server consults an optional :class:`FaultPlan`, which may return the
-same :class:`~repro.sim.scheduler.CrashDecision` the fuzzer's schedule
-adversaries emit (crash the process mid-operation; its pending
-operation stays pending, exactly like a simulator crash) or a
-:class:`~repro.sim.scheduler.DelayDecision` (hold the request while
-later-arriving messages from other processes are served first —
-network delay and reorder as one seam).
+server consults an optional :class:`~repro.faults.FaultPlan`, which
+may return any decision the fuzzer's schedule adversaries emit:
+
+- ``CrashDecision`` — crash the process at its next primitive; the
+  pending operation stays pending, exactly like a simulator crash.
+  The crashed worker then *blocks* awaiting a verdict: a later
+  ``RecoverDecision`` restarts it from a fresh replica (rebuilt via
+  the picklable ``build``/program factories; the crashed operation is
+  skipped, later operations get fresh op ids), and when the run ends
+  without one the server confirms it stays dead.
+- ``DelayDecision`` — hold the request while later-arriving messages
+  from other processes are served first (network delay/reorder).
+- ``PartitionDecision`` — park every request from the named pids until
+  ``steps`` further arrivals have been served, or until no other
+  traffic remains; parked requests are then applied in arrival order
+  (a severed-then-healed network segment).
+- ``DuplicateDecision`` — re-apply the named pid's most recently
+  applied primitive and record the second application in the history;
+  the worker never sees the duplicate's result.  The history keeps
+  matching true application order, so the audit oracle judges what
+  the memory actually did.
+- ``OmitDecision`` — drop the requester's message: never applied,
+  never recorded; the worker abandons the operation (it stays pending
+  in the history) and continues with its next one.
 
 Determinism matches the thread backend: values, pads and nonces replay
 from the seed; interleavings come from OS scheduling and message
@@ -58,14 +75,33 @@ import traceback
 from multiprocessing.connection import wait as conn_wait
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro._seeding import stable_hash
+from repro.faults import FaultPlan, ScriptedFaultPlan, SeededFaultPlan
 from repro.memory.array import BitMatrix, RegisterArray
 from repro.memory.base import BaseObject
 from repro.rt.base import Runtime
 from repro.sim.history import History
 from repro.sim.process import Op
 from repro.sim.runner import drive_op
-from repro.sim.scheduler import CrashDecision, DelayDecision
+from repro.sim.scheduler import (
+    CrashDecision,
+    DelayDecision,
+    DuplicateDecision,
+    OmitDecision,
+    PartitionDecision,
+    RecoverDecision,
+)
+
+__all__ = [
+    "CrashedByServer",
+    "PrimitiveOmitted",
+    "FaultPlan",
+    "ScriptedFaultPlan",
+    "SeededFaultPlan",
+    "ObjectRegistry",
+    "PidRef",
+    "ProcessRuntime",
+    "DEFAULT_WATCHDOG",
+]
 
 #: Default seconds granted past any --duration before a stuck worker,
 #: server or channel is declared hung and the run is torn down.
@@ -76,80 +112,11 @@ class CrashedByServer(Exception):
     """The memory server crashed this process mid-operation."""
 
 
-# -- fault plans (the schedule-decision seam, server side) --------------------
-
-
-class FaultPlan:
-    """Decides, per primitive request, whether to inject a fault.
-
-    ``decide`` sees the 1-based arrival index of the primitive request,
-    the requesting pid, and the primitive about to be applied; it
-    returns ``None`` (apply normally), a
-    :class:`~repro.sim.scheduler.CrashDecision` (crash that process at
-    its next primitive — immediately when it names the requester) or a
-    :class:`~repro.sim.scheduler.DelayDecision` (hold this request
-    while other processes' messages are served).  Plans must be
-    picklable: they ship to the memory-server process at spawn.
-    """
-
-    def decide(
-        self, step: int, pid: str, obj_name: str, primitive: str
-    ) -> Optional[Any]:
-        return None
-
-
-class ScriptedFaultPlan(FaultPlan):
-    """Deterministic faults keyed by primitive-arrival index.
-
-    ``decisions`` maps a 1-based step index to a decision.  With a
-    single worker the arrival order is the program order, so scripted
-    plans give byte-reproducible crash/delay regressions.
-    """
-
-    def __init__(self, decisions: Dict[int, Any]) -> None:
-        self.decisions = dict(decisions)
-
-    def decide(
-        self, step: int, pid: str, obj_name: str, primitive: str
-    ) -> Optional[Any]:
-        return self.decisions.get(step)
-
-
-class SeededFaultPlan(FaultPlan):
-    """Seeded random faults, derived statelessly per (seed, step, pid).
-
-    ``crash_per_10k``/``delay_per_10k`` are per-request probabilities in
-    basis points (out of 10000); at most ``max_crashes`` processes are
-    crashed.  Decisions hash the request coordinates, so a plan is a
-    pure value: pickling it mid-campaign cannot change what it injects.
-    """
-
-    def __init__(
-        self,
-        seed: int = 0,
-        *,
-        crash_per_10k: int = 0,
-        delay_per_10k: int = 0,
-        delay_steps: int = 4,
-        max_crashes: int = 1,
-    ) -> None:
-        self.seed = seed
-        self.crash_per_10k = crash_per_10k
-        self.delay_per_10k = delay_per_10k
-        self.delay_steps = delay_steps
-        self.max_crashes = max_crashes
-        self._crashes = 0
-
-    def decide(
-        self, step: int, pid: str, obj_name: str, primitive: str
-    ) -> Optional[Any]:
-        draw = stable_hash("fault-plan", self.seed, step, pid) % 10_000
-        if draw < self.crash_per_10k and self._crashes < self.max_crashes:
-            self._crashes += 1
-            return CrashDecision(pid)
-        if draw - self.crash_per_10k < self.delay_per_10k:
-            return DelayDecision(pid, steps=self.delay_steps)
-        return None
+class PrimitiveOmitted(Exception):
+    """The memory server dropped this primitive request (omission
+    fault): the worker's view of a timed-out message.  The in-flight
+    operation is abandoned — pending forever in the history — and the
+    worker continues with its next operation."""
 
 
 # -- the server's object registry ---------------------------------------------
@@ -268,6 +235,8 @@ def _worker_main(
             return reply[1]
         if reply[0] == "crash":
             raise CrashedByServer(pid)
+        if reply[0] == "omit":
+            raise PrimitiveOmitted(pid)
         raise RuntimeError(f"memory server rejected a primitive: {reply[1]}")
 
     try:
@@ -306,7 +275,28 @@ def _worker_main(
             try:
                 result = drive_op(pid, op, apply_over_channel)
             except CrashedByServer:
-                break
+                # Block until the server either recovers this process
+                # or (when the run winds down) confirms it stays dead.
+                # On recovery the replica and the program are rebuilt
+                # from their picklable factories — a genuine restart,
+                # not a resumed in-memory object.  The crashed
+                # operation is skipped (its history record stays
+                # pending) and later operations take fresh op ids.
+                verdict = conn.recv()
+                if verdict[0] != "recover":
+                    break
+                system = build(*build_args)
+                if spec["kind"] == "program":
+                    program = list(factory(system, pid, *args))
+                else:
+                    source = factory(system, pid, *args)
+                op_id += 1
+                continue
+            except PrimitiveOmitted:
+                # The dropped request surfaced as a timeout: abandon
+                # the operation (pending forever) and move on.
+                op_id += 1
+                continue
             outbox.append(("resp", op_id, op.name, result))
             if record_latency:
                 latencies.append((pid, op.name, time.perf_counter() - start))
@@ -358,11 +348,26 @@ def _server_main(
         }
         current_op: Dict[str, int] = {}
         doomed = set()
+        # Crashed workers blocked awaiting a recover/dead verdict:
+        # pid -> conn (removed from ``active`` while waiting).
+        awaiting: Dict[str, Any] = {}
+        # Most recent applied primitive per pid (op_id, obj_name,
+        # primitive, args): what a DuplicateDecision re-delivers.
+        last_applied: Dict[str, Tuple[int, str, str, Tuple[Any, ...]]] = {}
+        # Partitioned pids: pid -> last msgs index still severed; their
+        # requests are parked (conn, pid, message) in arrival order.
+        partitioned: Dict[str, int] = {}
+        parked: List[Tuple[Any, str, Tuple[Any, ...]]] = []
         # Held (delayed) primitive requests: (release_at_msgs, conn,
         # pid, message).  Released once enough later messages have been
         # served, or immediately when the system would otherwise idle.
         delayed: List[Tuple[int, Any, str, Tuple[Any, ...]]] = []
         msgs = 0
+        # 1-based arrival index of primitive requests: what the fault
+        # plan keys on.  Distinct from ``steps`` (applied primitives) —
+        # an omitted or delayed request still consumes an index, so a
+        # scripted decision never re-fires on the victim's next request.
+        requests = 0
 
         def apply_prim(conn, pid, message):
             nonlocal steps
@@ -376,27 +381,85 @@ def _server_main(
             history.record_primitive(
                 pid, current_op.get(pid, 0), obj_name, primitive, args, result
             )
+            last_applied[pid] = (
+                current_op.get(pid, 0), obj_name, primitive, args
+            )
             conn.send(("ok", result))
 
+        def apply_duplicate(dpid):
+            # Re-deliver dpid's most recent applied message.  The second
+            # application is recorded under the original operation — the
+            # per-object log keeps matching true application order — and
+            # no reply is sent (the worker already has its result).
+            nonlocal steps
+            entry = last_applied.get(dpid)
+            if entry is None:
+                return
+            op_id, obj_name, primitive, args = entry
+            try:
+                result = registry.resolve(obj_name).apply(primitive, args)
+            except Exception:  # noqa: BLE001 - a dud duplicate is dropped
+                return
+            steps += 1
+            history.record_primitive(
+                dpid, op_id, obj_name, primitive, args, result
+            )
+
+        def recover_pid(rpid):
+            # Restart a crashed-and-waiting worker; nominations of pids
+            # that are not waiting are ignored (alive, or never crashed).
+            rconn = awaiting.pop(rpid, None)
+            if rconn is None:
+                return
+            rconn.send(("recover",))
+            active[rconn] = rpid
+
         def handle_prim(conn, pid, message):
+            nonlocal requests
+            requests += 1
             decision = None
             if pid in doomed:
                 doomed.discard(pid)
                 decision = CrashDecision(pid)
             elif faults is not None:
                 decision = faults.decide(
-                    steps + 1, pid, message[1], message[2]
+                    requests, pid, message[1], message[2]
                 )
             if isinstance(decision, CrashDecision):
                 if decision.pid == pid:
                     history.record_crash(pid, current_op.get(pid))
                     crashed.append(pid)
                     conn.send(("crash",))
+                    del active[conn]
+                    awaiting[pid] = conn
                     return
                 # Crashing another process takes effect at *its* next
                 # primitive request; this one proceeds normally.
                 doomed.add(decision.pid)
                 decision = None
+            elif isinstance(decision, RecoverDecision):
+                recover_pid(decision.pid)
+                decision = None
+            elif isinstance(decision, DuplicateDecision):
+                apply_duplicate(decision.pid)
+                decision = None
+            elif isinstance(decision, OmitDecision):
+                if decision.pid == pid:
+                    conn.send(("omit",))
+                    return
+                decision = None
+            elif isinstance(decision, PartitionDecision):
+                for vpid in decision.pids:
+                    heal_at = msgs + decision.steps
+                    partitioned[vpid] = max(
+                        partitioned.get(vpid, 0), heal_at
+                    )
+                decision = None
+            if pid in partitioned:
+                if partitioned[pid] >= msgs:
+                    parked.append((conn, pid, message))
+                    return
+                del partitioned[pid]
             if isinstance(decision, DelayDecision):
                 delayed.append((msgs + decision.steps, conn, pid, message))
                 return
@@ -410,6 +473,31 @@ def _server_main(
                 else:
                     remaining.append(entry)
             delayed[:] = remaining
+
+        def release_parked(due_only: bool) -> None:
+            # Heal partitions (all of them when the system would
+            # otherwise idle) and serve parked requests in arrival
+            # order.  Like delayed requests, a healed request applies
+            # directly: the fault plan ruled on it at arrival.
+            if due_only:
+                still = {
+                    vpid: heal
+                    for vpid, heal in partitioned.items()
+                    if heal >= msgs
+                }
+            else:
+                still = {}
+            partitioned.clear()
+            partitioned.update(still)
+            if not parked:
+                return
+            remaining = []
+            for conn, vpid, message in parked:
+                if vpid in partitioned:
+                    remaining.append((conn, vpid, message))
+                else:
+                    apply_prim(conn, vpid, message)
+            parked[:] = remaining
 
         def handle_batch(conn, pid, batch) -> bool:
             """Serve one batch; False once the conn went inactive."""
@@ -433,23 +521,41 @@ def _server_main(
                         errors.append((pid, err))
                     del active[conn]
                     return False
-            return True
+            # A crash mid-batch moves the conn to ``awaiting``; stop
+            # draining it (the worker is blocked on a verdict).
+            return conn in active
 
         # The hot loop.  ``conn_wait`` is one select() per pass; each
         # ready channel is then drained greedily (poll(0) costs far less
         # than another select against every channel) so a busy system
         # pays the multiplexing overhead once per burst, not per
-        # primitive.
+        # primitive.  Crashed workers sit in ``awaiting`` outside the
+        # select set; once every live worker finished, they are told
+        # they stay dead and rejoin only to deliver their final batch.
         active_list = list(active)
-        while active:
+        while active or awaiting:
+            if not active:
+                for rpid in list(awaiting):
+                    rconn = awaiting.pop(rpid)
+                    try:
+                        rconn.send(("dead",))
+                    except OSError:  # pragma: no cover - worker gone
+                        continue
+                    active[rconn] = rpid
+                active_list = list(active)
+                if not active:
+                    break
             if delayed:
                 release_delayed(due_only=True)
+            if partitioned or parked:
+                release_parked(due_only=True)
             ready = conn_wait(active_list, timeout=0.05)
             if not ready:
                 if delayed:
                     release_delayed(due_only=False)
-                if len(active_list) != len(active):
-                    active_list = list(active)
+                if partitioned or parked:
+                    release_parked(due_only=False)
+                active_list = list(active)
                 continue
             for conn in ready:
                 pid = active.get(conn)
@@ -466,9 +572,9 @@ def _server_main(
                         break
                     if not conn.poll():
                         break
-            if len(active_list) != len(active):
-                active_list = list(active)
+            active_list = list(active)
         release_delayed(due_only=False)
+        release_parked(due_only=False)
         if event_sink is not None:
             event_sink.close()
         out_conn.send(("ok", {

@@ -28,7 +28,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro._seeding import stable_hash
 from repro.analysis.audit_checks import (
@@ -59,6 +59,7 @@ from repro.core.auditable_register import AuditableRegister
 from repro.core.auditable_snapshot import AuditableSnapshot
 from repro.crypto.nonce import NonceSource
 from repro.crypto.pad import OneTimePadSequence
+from repro.faults import chaos_plan, parse_fault_families
 from repro.rt.process_runtime import FaultPlan, PidRef, ProcessRuntime
 from repro.rt.thread_runtime import DEFAULT_WATCHDOG, ThreadRuntime
 from repro.sim.event_log import JsonlEventSink, iter_event_log
@@ -143,6 +144,9 @@ class StressReport:
     # retired ops, peak resident ops, windows, ...).
     online: bool = False
     stream: Optional[Dict[str, Any]] = None
+    # Chaos mode: "crash,partition,dup@100/10k" when a family spec was
+    # given, the plan class name for explicit FaultPlan instances.
+    faults: Optional[str] = None
 
     @property
     def threads(self) -> int:
@@ -175,6 +179,7 @@ class StressReport:
             "audit_ok": self.audit_ok,
             "online": self.online,
             "stream": self.stream,
+            "faults": self.faults,
         }
 
     def render(self) -> str:
@@ -188,6 +193,8 @@ class StressReport:
             f"  elapsed       : {self.elapsed:.3f}s",
             f"  throughput    : {self.ops_per_sec:,.0f} ops/sec",
         ]
+        if self.faults:
+            lines.append(f"  faults        : {self.faults}")
         for op_name in sorted(self.latency):
             stats = self.latency[op_name]
             if not stats:
@@ -541,7 +548,8 @@ def run_stress(
     snapshot_substrate: str = "afek",
     lin_max_nodes: int = DEFAULT_MAX_NODES,
     runtime: str = "thread",
-    faults: Optional[FaultPlan] = None,
+    faults: Optional[Union[FaultPlan, str]] = None,
+    fault_rate: int = 100,
     online: bool = False,
     event_log: Optional[str] = None,
     stream_window: Optional[int] = None,
@@ -558,8 +566,12 @@ def run_stress(
     exhausting it yields an UNDECIDED linearizability verdict
     (``lin_ok is None``), never a crash.  ``runtime`` selects the
     backend (``thread`` or ``process``); ``faults`` (process runtime
-    only) injects message delays and crashes at the memory server
-    (:class:`~repro.rt.process_runtime.FaultPlan`).
+    only) injects message faults at the memory server: pass a
+    :class:`~repro.rt.process_runtime.FaultPlan` directly, or a family
+    spec string (``"crash,partition,dup"`` -- chaos mode), which
+    builds a :func:`repro.faults.chaos_plan` at ``fault_rate`` total
+    faults per 10k requests, seeded from ``seed`` and rostered with
+    the run's worker pids (exact crash budget, recovery nominations).
 
     ``online=True`` streams instead of buffering: history retention is
     disabled and every event feeds the incremental checker as it is
@@ -594,6 +606,17 @@ def run_stress(
         w = max(1, w)
     if r + w + a < 1:
         raise ValueError("no workers: all role counts are zero")
+
+    fault_desc: Optional[str] = None
+    if isinstance(faults, str):
+        families = parse_fault_families(faults)
+        roster_pids = [pid for pid, _, _ in _stress_pids(object, r, w, a)]
+        faults = chaos_plan(
+            families, fault_rate, seed, pids=roster_pids
+        )
+        fault_desc = f"{','.join(families)}@{fault_rate}/10k"
+    elif faults is not None:
+        fault_desc = type(faults).__name__
 
     log_path = event_log
     tmp_path: Optional[str] = None
@@ -676,6 +699,7 @@ def run_stress(
         primitives=rt.steps_taken,
         elapsed=rt.elapsed,
         online=online,
+        faults=fault_desc,
     )
     report.ops_per_sec = (
         report.ops_completed / rt.elapsed if rt.elapsed else 0.0

@@ -145,6 +145,49 @@ class Process:
         if self._watcher is not None:
             self._watcher(self)
 
+    def _abandon_op(self) -> None:
+        """Drop the in-flight operation (omission fault) and move on.
+
+        The operation's invocation stays in the history with no
+        response — pending forever — while the process itself continues
+        with the next operation of its program.  ``current_op_id`` is
+        not reused: op ids come from ``_op_counter``, so the abandoned
+        operation keeps a unique identity for the checkers.
+        """
+        if self.gen is None:
+            raise ValueError(
+                f"process {self.pid!r} has no in-flight operation to abandon"
+            )
+        self.gen.close()
+        self.gen = None
+        self.current_op = None
+        self.current_op_id = None
+        self.pending = None
+        self._replay_log.clear()
+        if self._next_op < len(self._program):
+            self.state = ProcessState.IDLE
+        else:
+            self.state = ProcessState.DONE
+        if self._watcher is not None:
+            self._watcher(self)
+
+    def _recover(self) -> None:
+        """Restart after a crash: resume the program at the next op.
+
+        The crashed operation is lost (``_crash`` already discarded its
+        generator and pending primitive; its history record stays
+        pending).  The op counter keeps counting, so post-recovery
+        operations never collide with pre-crash ones.
+        """
+        if self.state is not ProcessState.CRASHED:
+            raise ValueError(f"process {self.pid!r} is not crashed")
+        if self._next_op < len(self._program):
+            self.state = ProcessState.IDLE
+        else:
+            self.state = ProcessState.DONE
+        if self._watcher is not None:
+            self._watcher(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         op = self.current_op.name if self.current_op else None
         return f"Process({self.pid!r}, state={self.state.value}, op={op})"

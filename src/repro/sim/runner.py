@@ -29,7 +29,16 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 from repro.sim.events import PendingPrimitive
 from repro.sim.history import History
 from repro.sim.process import Op, Process, ProcessState
-from repro.sim.scheduler import CrashDecision, RoundRobinSchedule, Schedule
+from repro.sim.scheduler import (
+    CrashDecision,
+    DelayDecision,
+    DuplicateDecision,
+    OmitDecision,
+    PartitionDecision,
+    RecoverDecision,
+    RoundRobinSchedule,
+    Schedule,
+)
 
 
 def drive_to_suspension(
@@ -114,6 +123,12 @@ class Simulation:
         # hook), so the per-step cost is a cache lookup, not a scan.
         self._runnable: Dict[str, Process] = {}
         self._runnable_sorted: Optional[List[Process]] = None
+        # Fault-injection state.  _partitioned maps pid -> last step at
+        # which the pid is still severed from memory; _last_applied maps
+        # pid -> its most recently applied primitive (op_id, obj,
+        # primitive, args), the message a DuplicateDecision re-delivers.
+        self._partitioned: Dict[str, int] = {}
+        self._last_applied: Dict[str, Tuple[int, Any, str, Tuple]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -144,6 +159,118 @@ class Simulation:
         op_id = process.current_op_id
         process._crash()
         self.history.record_crash(pid, op_id)
+
+    def recover(self, pid: str) -> None:
+        """Restart a crashed process from a fresh replica.
+
+        The crashed operation stays pending; the process resumes with
+        the next operation of its program under the same pid (fresh
+        op_ids, so the checkers see an ordinary process with one more
+        pending operation).  No history event is recorded: recovery is
+        visible only through the process invoking operations again.
+        """
+        self.processes[pid]._recover()
+
+    def duplicate(self, pid: str) -> None:
+        """Re-deliver ``pid``'s most recently applied primitive.
+
+        The memory applies the duplicated message again and the second
+        application is recorded under the original operation, keeping
+        the per-object log equal to the true application order (the
+        audit oracle's soundness condition).  The process never sees
+        the duplicate's result.
+        """
+        entry = self._last_applied.get(pid)
+        if entry is None:
+            raise ValueError(
+                f"{pid!r} has no applied primitive to re-deliver"
+            )
+        op_id, obj, primitive, args = entry
+        result = obj.apply(primitive, args)
+        self.history.record_primitive(
+            pid, op_id, obj.name, primitive, args, result
+        )
+
+    def omit(self, pid: str) -> None:
+        """Drop ``pid``'s in-flight primitive: the request is never
+        applied and the operation is abandoned (stays pending)."""
+        self.processes[pid]._abandon_op()
+
+    def partition(self, pids, steps: int = 4) -> None:
+        """Sever ``pids`` from memory for the next ``steps`` steps.
+
+        Unknown pids are ignored (partitioning a process that does not
+        exist is a no-op, like partitioning an empty network segment);
+        overlapping partitions extend, never shorten.
+        """
+        heal_at = self._steps_taken + steps
+        for pid in pids:
+            if pid in self.processes:
+                current = self._partitioned.get(pid, 0)
+                self._partitioned[pid] = max(current, heal_at)
+
+    def is_partitioned(self, pid: str) -> bool:
+        """Would ``pid`` be hidden from the schedule at the next step?
+
+        Accounts for healing (the partition may expire by then) and the
+        flush-on-idle rule (a partition covering every process with
+        work heals immediately rather than deadlocking the run).
+        """
+        horizon = self._steps_taken + 1
+        self._heal_expired(horizon)
+        if pid not in self._partitioned:
+            return False
+        runnable = self._runnable_view()
+        if runnable and all(p.pid in self._partitioned for p in runnable):
+            return False
+        return True
+
+    def duplicable_pids(self) -> List[str]:
+        """Pids with an applied primitive a duplicate could re-deliver."""
+        return sorted(self._last_applied)
+
+    def recoverable_pids(self) -> List[str]:
+        """Crashed pids with program left to resume."""
+        return sorted(
+            pid
+            for pid, process in self.processes.items()
+            if process.state is ProcessState.CRASHED
+            and process.remaining_ops() > 0
+        )
+
+    def _heal_expired(self, horizon: int) -> None:
+        expired = [
+            pid
+            for pid, heal_at in self._partitioned.items()
+            if horizon > heal_at
+        ]
+        for pid in expired:
+            del self._partitioned[pid]
+
+    def _visible_runnable(self, horizon: int) -> List[Process]:
+        """The runnable view minus partitioned pids, with healing.
+
+        When the partition covers everything runnable, it heals in full
+        (the simulator analogue of the memory server flushing parked
+        requests once no other traffic remains): partitions stall
+        progress, they never wedge a run.
+        """
+        runnable = self._runnable_view()
+        if not self._partitioned:
+            return runnable
+        self._heal_expired(horizon)
+        if not self._partitioned:
+            return runnable
+        visible = [p for p in runnable if p.pid not in self._partitioned]
+        if not visible and runnable:
+            self._partitioned.clear()
+            return runnable
+        return visible
+
+    def schedulable(self) -> List[Process]:
+        """The processes the schedule could be offered at the next step
+        (the runnable view minus currently partitioned pids)."""
+        return list(self._visible_runnable(self._steps_taken + 1))
 
     def _work_changed(self, process: Process) -> None:
         """Watcher hook: keep the runnable set in sync with one process."""
@@ -181,13 +308,14 @@ class Simulation:
                 f"{[p.pid for p in runnable]}"
             )
         self._steps_taken += 1
-        chosen = self.schedule.choose(runnable, self._steps_taken)
-        if isinstance(chosen, CrashDecision):
+        visible = self._visible_runnable(self._steps_taken)
+        chosen = self.schedule.choose(visible, self._steps_taken)
+        if isinstance(chosen, Process):
+            self._advance(chosen)
+        else:
             # The schedule-injection hook for fault-exploring adversaries
-            # (repro.fuzz): the step is consumed by the crash.
-            self.crash(chosen.pid)
-            return True
-        self._advance(chosen)
+            # (repro.fuzz): the step is consumed by the fault.
+            self._apply_fault(chosen)
         return True
 
     def step_process(self, pid: str) -> bool:
@@ -238,6 +366,42 @@ class Simulation:
     def steps_taken(self) -> int:
         return self._steps_taken
 
+    def inject(self, decision) -> None:
+        """Apply a fault decision outside the schedule seam.
+
+        Consumes one step, exactly as if :meth:`step` had chosen the
+        decision — the lenient replayer (:func:`repro.fuzz.executor.
+        run_decisions_lenient`) uses this so shrunken candidate
+        sequences account steps identically to a strict replay.
+        """
+        if self._steps_taken >= self.max_steps:
+            raise StepBudgetExceeded(
+                f"exceeded {self.max_steps} steps injecting {decision!r}"
+            )
+        self._steps_taken += 1
+        self._apply_fault(decision)
+
+    def _apply_fault(self, decision) -> None:
+        if isinstance(decision, CrashDecision):
+            self.crash(decision.pid)
+        elif isinstance(decision, RecoverDecision):
+            self.recover(decision.pid)
+        elif isinstance(decision, DuplicateDecision):
+            self.duplicate(decision.pid)
+        elif isinstance(decision, OmitDecision):
+            self.omit(decision.pid)
+        elif isinstance(decision, PartitionDecision):
+            self.partition(decision.pids, decision.steps)
+        elif isinstance(decision, DelayDecision):
+            # In the simulator a delay is the schedule not choosing the
+            # process; the decision just consumes the step.
+            pass
+        else:
+            raise TypeError(
+                f"schedule returned {decision!r}; expected a Process or "
+                "a fault decision"
+            )
+
     # -- internals ---------------------------------------------------------
 
     def _advance(self, process: Process) -> None:
@@ -267,6 +431,14 @@ class Simulation:
             pending.primitive,
             pending.args,
             result,
+        )
+        # The most recent applied message per pid; a DuplicateDecision
+        # re-delivers exactly this.
+        self._last_applied[process.pid] = (
+            process.current_op_id,
+            pending.obj,
+            pending.primitive,
+            pending.args,
         )
         process.steps_in_current_op += 1
         # The replay log makes the generator's control state rebuildable

@@ -103,6 +103,124 @@ class DelayDecision:
         return f"DelayDecision({self.pid!r}, steps={self.steps})"
 
 
+class PartitionDecision:
+    """Sever a set of processes from the shared memory for a while.
+
+    In the simulator the named pids are excluded from the schedulable
+    view for the next ``steps`` scheduler steps — a partition is
+    subsumed by scheduling freedom, so no history event is recorded and
+    every oracle stays sound by construction.  If only partitioned
+    processes still have work, the partition heals immediately (the
+    simulator analogue of the memory server flushing parked requests
+    when its queues run dry), so a partition can stall progress but
+    never deadlock a run.
+
+    The memory server of :mod:`repro.rt.process_runtime` parks primitive
+    requests arriving from partitioned pids and serves them, in arrival
+    order, once ``steps`` further arrivals have been served (or when no
+    other traffic remains).  The partitioned operation stays invoked-
+    but-unanswered while parked, exactly like a slow network path.
+    """
+
+    __slots__ = ("pids", "steps")
+
+    def __init__(self, pids: Sequence[str], steps: int = 4) -> None:
+        if isinstance(pids, str):
+            pids = (pids,)
+        self.pids = tuple(sorted(set(pids)))
+        if not self.pids:
+            raise ValueError("a partition must name at least one pid")
+        if steps < 1:
+            raise ValueError("a partition must cover at least one step")
+        self.steps = steps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartitionDecision({self.pids!r}, steps={self.steps})"
+
+
+class RecoverDecision:
+    """Restart a crashed process from a fresh replica.
+
+    The recovered process keeps its pid and resumes its program with
+    the operation *after* the one it crashed in: the crashed operation
+    stays pending in the history forever (its response never arrives),
+    and subsequent operations get fresh op_ids, so the linearizability
+    checker sees an ordinary process with one more pending operation —
+    no new history event kind is needed.
+
+    In the process runtime the worker rebuilds its replica via the
+    picklable ``build`` factory and re-derives its program from the
+    program/source factory before continuing — a genuine
+    restart-from-checkpoint, not a resumed in-memory object.
+    """
+
+    __slots__ = ("pid",)
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecoverDecision({self.pid!r})"
+
+
+class DuplicateDecision:
+    """Re-deliver the named process's most recently applied primitive.
+
+    The memory applies the duplicated request a second time and records
+    the second application in the history under the original operation
+    — the per-object log keeps matching the true application order, so
+    the audit oracle judges exactly what the memory really did.  No
+    result is delivered to the process (it already has its reply), so
+    the linearizability checker is unaffected.
+
+    This is the decision that exercises non-idempotent primitives: a
+    duplicated ``fetch&xor`` flips an announce bit back (XOR is an
+    involution), a duplicated compare&swap simply fails the second
+    time.  Only applicable to a pid that has an applied primitive to
+    re-deliver; samplers and the lenient replayer skip it otherwise.
+    """
+
+    __slots__ = ("pid",)
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DuplicateDecision({self.pid!r})"
+
+
+class OmitDecision:
+    """Drop the named process's in-flight primitive request.
+
+    The request is never applied and never recorded; the process
+    abandons the operation it was executing (in the process runtime the
+    worker sees the omission as a timeout) and continues with its next
+    operation.  The abandoned operation stays pending in the history —
+    the same conservative "may or may not have happened" treatment a
+    crash gets, except the process itself lives on.
+    """
+
+    __slots__ = ("pid",)
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OmitDecision({self.pid!r})"
+
+
+#: Every decision class a ``Schedule.choose`` / ``FaultPlan.decide``
+#: may return instead of a process to step.
+FAULT_DECISIONS = (
+    CrashDecision,
+    DelayDecision,
+    PartitionDecision,
+    RecoverDecision,
+    DuplicateDecision,
+    OmitDecision,
+)
+
+
 class Schedule:
     """Base class: pick the next process to step.
 

@@ -37,7 +37,18 @@ from repro.fuzz import (
 )
 from repro.fuzz.campaign import run_batch, run_campaign
 from repro.fuzz.executor import ReplayMismatch, run_decisions_lenient
-from repro.fuzz.trace import CRASH, STEP, ScheduleTrace, TraceFormatError
+from repro.fuzz.trace import (
+    CRASH,
+    DUPLICATE,
+    OMIT,
+    PARTITION,
+    RECOVER,
+    STEP,
+    ScheduleTrace,
+    TraceFormatError,
+    decision_weight,
+    partition_entry,
+)
 from repro.memory.register import AtomicRegister
 from repro.sim.process import Op, ProcessState
 from repro.sim.runner import Simulation
@@ -531,3 +542,102 @@ class TestFuzzCLI:
             ["--replay", str(trace_file), "--expect-violation"]
         )
         assert code == 0
+
+
+class TestFaultFuzzing:
+    """Message faults (dup/omit/recover/partition) as schedule decisions."""
+
+    def test_partition_entry_is_canonical(self):
+        assert partition_entry(["q", "p", "q"], 4) == (PARTITION, "p,q", 4)
+        assert partition_entry(("p",), 2) == (PARTITION, "p", 2)
+
+    def test_decision_weight_orders_fault_severity(self):
+        assert decision_weight((STEP, "p")) == 0
+        assert decision_weight((CRASH, "p")) == 1
+        assert decision_weight((DUPLICATE, "p")) == 1
+        assert decision_weight(partition_entry(["p", "q"], 6)) == 6
+
+    def test_fault_decisions_roundtrip_in_the_codec(self):
+        trace = ScheduleTrace(
+            target="alg1-dup-audit", seed=9, sampler="fault",
+            decisions=(
+                (STEP, "r0"), (DUPLICATE, "r0"), (OMIT, "w0"),
+                (RECOVER, "r1"), partition_entry(["r0", "w0"], 3),
+            ),
+            verdict="boom",
+        )
+        assert trace_from_payload(trace_to_payload(trace)) == trace
+        assert loads_trace(dumps_trace(trace)) == trace
+
+    def test_bad_partition_entries_rejected(self):
+        base = trace_to_payload(
+            ScheduleTrace(target="t", seed=0, sampler="u")
+        )
+        for bad in (
+            ["partition", "p,q"],        # missing the steps field
+            ["partition", "", 3],        # empty pid set
+            ["partition", "p", 0],       # sever window below 1
+            ["partition", "p", True],    # bool is not a step count
+            ["partition", "p", "3"],     # non-integer steps
+        ):
+            payload = dict(base)
+            payload["decisions"] = [bad]
+            with pytest.raises(TraceFormatError):
+                trace_from_payload(payload)
+
+    def test_fault_sampler_is_deterministic_and_policy_bound(self):
+        target = get_target("alg1-dup-audit")  # dup only, r-pids, 1 max
+        a = run_one(target, 11, sampler_from_name("fault"))
+        b = run_one(target, 11, sampler_from_name("fault"))
+        assert dumps_trace(a.trace) == dumps_trace(b.trace)
+        exercised = 0
+        for seed in range(24):
+            result = run_one(target, seed, sampler_from_name("fault"))
+            faults = [d for d in result.trace.decisions if d[0] != STEP]
+            assert len(faults) <= 1  # max_faults binds the samplers
+            for decision in faults:
+                assert decision[0] == DUPLICATE
+                assert decision[1].startswith("r")
+            exercised += len(faults)
+        assert exercised > 0  # the fault model was actually sampled
+
+    def test_faults_only_on_fault_targets(self):
+        target = get_target("buggy-counter")  # no fault families armed
+        for seed in range(12):
+            result = run_one(target, seed, sampler_from_name("fault"))
+            assert all(d[0] == STEP for d in result.trace.decisions)
+
+    def test_dup_counterexample_shrinks_to_a_loadbearing_dup(self):
+        """The PR's flagship artifact: the shrunken alg1-dup-audit
+        counterexample carries exactly one duplicate, and removing it
+        kills the violation -- the fault is load-bearing, not noise."""
+        target = get_target("alg1-dup-audit")
+        payload = run_batch(
+            0, target="alg1-dup-audit", sampler="uniform",
+            schedules=256, shrink=True,
+        )
+        assert payload["violations"] > 0
+        shrunk = trace_from_payload(payload["first_violation"]["shrunk"])
+        dups = [d for d in shrunk.decisions if d[0] == DUPLICATE]
+        assert len(dups) == 1
+        without = [d for d in shrunk.decisions if d[0] != DUPLICATE]
+        verdict, _ = run_decisions_lenient(target, without)
+        assert verdict != shrunk.verdict
+        replayed = replay_trace(target, shrunk)
+        assert dumps_trace(replayed.trace) == dumps_trace(shrunk)
+
+    def test_lenient_skips_inapplicable_faults(self):
+        """Shrink candidates may move a fault somewhere it cannot apply
+        (a dup before anything was applied, a recover of a live pid):
+        the lenient executor drops it and the run still closes."""
+        target = get_target("alg1-dup-audit")
+        clean = run_one(
+            target, 3, sampler_from_name("uniform", fault_rate=0.0)
+        )
+        assert all(d[0] == STEP for d in clean.trace.decisions)
+        decisions = [(DUPLICATE, "r0"), (RECOVER, "r0")] + list(
+            clean.trace.decisions
+        )
+        verdict, effective = run_decisions_lenient(target, decisions)
+        assert all(d[0] == STEP for d in effective)
+        assert verdict == clean.trace.verdict

@@ -14,6 +14,7 @@ method (and defeat the point of the API).
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 
 import pytest
@@ -35,7 +36,20 @@ from repro.rt import (
 )
 from repro.rt.stress import build_stress_register
 from repro.sim.process import Op
-from repro.sim.scheduler import CrashDecision, DelayDecision
+from repro.sim.scheduler import (
+    CrashDecision,
+    DelayDecision,
+    DuplicateDecision,
+    OmitDecision,
+    PartitionDecision,
+    RecoverDecision,
+)
+
+_START_METHODS = [
+    method
+    for method in ("fork", "spawn")
+    if method in multiprocessing.get_all_start_methods()
+]
 
 
 def _build_main():
@@ -193,13 +207,93 @@ def test_delay_decision_validates_steps():
     assert DelayDecision("p").steps >= 1
 
 
-def test_seeded_fault_plan_caps_crashes():
+def test_seeded_fault_plan_roster_caps_crashes_exactly():
+    """With a roster the crash cap is exact and stateless: only the
+    ``max_crashes`` hash-ranked pids are ever crash-eligible, no matter
+    how many requests arrive."""
+    pids = ("p", "q", "r", "s")
+    plan = SeededFaultPlan(0, crash_per_10k=10_000, max_crashes=2, pids=pids)
+    victims = {
+        decision.pid
+        for step in range(1, 40)
+        for pid in pids
+        for decision in [plan.decide(step, pid, "m", "read")]
+        if isinstance(decision, CrashDecision)
+    }
+    assert len(victims) == 2  # capped, despite certain-crash odds
+    assert victims < set(pids)
+
+
+def test_seeded_fault_plan_without_roster_keeps_cap_proportional():
+    """Without a roster an exact global cap would need state; the plan
+    degrades to a per-pid eligibility coin instead, so some pids crash
+    and some never do."""
     plan = SeededFaultPlan(0, crash_per_10k=10_000, max_crashes=2)
-    decisions = [
-        plan.decide(step, "p", "m", "read") for step in range(1, 20)
-    ]
-    crashes = [d for d in decisions if isinstance(d, CrashDecision)]
-    assert len(crashes) == 2  # capped, despite certain-crash odds
+    pids = [f"p{i}" for i in range(64)]
+    victims = {
+        pid for pid in pids
+        if isinstance(plan.decide(1, pid, "m", "read"), CrashDecision)
+    }
+    assert 0 < len(victims) < len(pids)
+
+
+def test_seeded_fault_plan_is_a_pure_value_across_pickling():
+    """``decide`` is a pure function of (seed, step, pid): pickling the
+    plan mid-stream and continuing on the clone must reproduce the
+    original's decisions exactly.  The earlier stateful design consumed
+    its crash budget inside ``decide``, so a mid-stream clone re-crashed
+    from scratch — this pins the regression."""
+    plan = SeededFaultPlan(
+        3, crash_per_10k=3000, dup_per_10k=2000, omit_per_10k=1500,
+        max_crashes=1, pids=("p", "q"),
+    )
+    coords = [(step, pid) for step in range(1, 40) for pid in ("p", "q")]
+    split = len(coords) // 2
+    head = [repr(plan.decide(s, p, "m", "read")) for s, p in coords[:split]]
+    clone = pickle.loads(pickle.dumps(plan))
+    tail = [repr(plan.decide(s, p, "m", "read")) for s, p in coords[split:]]
+    assert [
+        repr(clone.decide(s, p, "m", "read")) for s, p in coords[split:]
+    ] == tail
+    # Replaying the already-consumed prefix on the clone is equally
+    # unaffected: there is no consumed set to have drifted.
+    assert [
+        repr(clone.decide(s, p, "m", "read")) for s, p in coords[:split]
+    ] == head
+    assert any(d != "None" for d in head + tail)
+
+
+def test_scripted_match_rules_fire_once_in_order():
+    crash = CrashDecision("r0")
+    omit = OmitDecision("w0")
+    plan = ScriptedFaultPlan(match=[
+        (("r0", None, "fetch_xor"), crash),
+        ((None, None, None), omit),
+    ])
+    # A non-matching arrival falls through to the wildcard rule.
+    assert plan.decide(1, "w0", "areg.R", "write") is omit
+    # The wildcard has fired; the first rule still waits for its match.
+    assert plan.decide(2, "w0", "areg.R", "write") is None
+    assert plan.decide(3, "r0", "areg.R", "read") is None
+    assert plan.decide(4, "r0", "areg.R", "fetch_xor") is crash
+    # Every rule fires at most once.
+    assert plan.decide(5, "r0", "areg.R", "fetch_xor") is None
+
+
+def test_scripted_index_keys_win_over_match_rules():
+    keyed = DelayDecision("p", steps=2)
+    matched = OmitDecision("p")
+    plan = ScriptedFaultPlan(
+        {1: keyed}, match=[(("p", None, None), matched)],
+    )
+    assert plan.decide(1, "p", "m", "read") is keyed
+    # The index hit did not consume the match rule.
+    assert plan.decide(2, "p", "m", "read") is matched
+
+
+def test_scripted_match_pattern_shape_validated():
+    with pytest.raises(ValueError, match="pid, obj_name, primitive"):
+        ScriptedFaultPlan(match=[(("p", None), CrashDecision("p"))])
 
 
 def test_crash_of_another_process_lands_at_its_next_primitive():
@@ -220,6 +314,179 @@ def test_crash_of_another_process_lands_at_its_next_primitive():
         op for op in history.complete_operations() if op.pid == "p"
     ]
     assert len(completed_by_p) == 4
+
+
+# -- fault families at the memory server --------------------------------------
+
+
+def test_omitted_request_abandons_only_that_operation():
+    """An omission drops exactly one request: the victim operation
+    stays pending, the worker continues, and the decision does not
+    re-fire on the next request (decisions key on the primitive-request
+    arrival index, not the applied-step count)."""
+    rt = ProcessRuntime(
+        _build_main, faults=ScriptedFaultPlan({2: OmitDecision("p")}),
+    )
+    rt.add_program_factory("p", _read_factory, args=(3,))
+    history = rt.run()
+    assert len(history.complete_operations(name="read")) == 2
+    assert [op.pid for op in history.pending_operations()] == ["p"]
+    assert rt.steps_taken == 2
+    assert rt.crashed == ()
+
+
+def test_duplicate_replays_last_applied_under_original_operation():
+    """A duplicate re-applies the victim's most recent primitive and
+    records the extra application under the original operation — the
+    history keeps matching true application order."""
+    rt = ProcessRuntime(
+        _build_main, faults=ScriptedFaultPlan({2: DuplicateDecision("p")}),
+    )
+    rt.add_program_factory("p", _read_factory, args=(2,))
+    history = rt.run()
+    # Both operations complete (the worker never sees the duplicate),
+    # but the memory applied three primitives, two under op 0.
+    assert len(history.complete_operations(name="read")) == 2
+    assert rt.steps_taken == 3
+    events = history.primitive_events(pid="p")
+    assert len(events) == 3
+    assert [event.op_id for event in events] == [0, 0, 1]
+
+
+def test_partition_parks_then_heals_on_idle():
+    """A partitioned process's requests are parked, not lost: once no
+    other traffic remains the partition heals and the parked requests
+    are served in arrival order."""
+    rt = ProcessRuntime(
+        _build_main,
+        faults=ScriptedFaultPlan({1: PartitionDecision(("p",), steps=50)}),
+    )
+    rt.add_program_factory("p", _read_factory, args=(2,))
+    history = rt.run()
+    assert len(history.complete_operations(name="read")) == 2
+    assert not history.pending_operations()
+    assert rt.steps_taken == 2
+
+
+def test_recover_of_a_live_process_is_ignored():
+    rt = ProcessRuntime(
+        _build_main, faults=ScriptedFaultPlan({1: RecoverDecision("p")}),
+    )
+    rt.add_program_factory("p", _read_factory, args=(2,))
+    history = rt.run()
+    assert len(history.complete_operations(name="read")) == 2
+    assert rt.crashed == ()
+
+
+class _CrashThenRecover(FaultPlan):
+    """Crash ``victim`` at its own first primitive request, then recover
+    it at the first request from any *other* process — deterministic
+    relative to arrival order, whatever that order is."""
+
+    def __init__(self, victim):
+        self.victim = victim
+        self._crashed = False
+        self._recovered = False
+
+    def decide(self, step, pid, obj_name, primitive):
+        if not self._crashed:
+            if pid == self.victim:
+                self._crashed = True
+                return CrashDecision(self.victim)
+            return None
+        if not self._recovered and pid != self.victim:
+            self._recovered = True
+            return RecoverDecision(self.victim)
+        return None
+
+
+def test_recovered_process_restarts_and_finishes_its_program():
+    """Crash-then-recover: the crashed operation stays pending forever,
+    the worker rebuilds its replica from the picklable factories, and
+    its remaining operations complete under fresh op ids."""
+    rt = ProcessRuntime(_build_main, faults=_CrashThenRecover("p"))
+    rt.add_program_factory("p", _read_factory, args=(3,))
+    rt.add_program_factory("q", _read_factory, args=(30,))
+    history = rt.run()
+    assert rt.crashed == ("p",)
+    pending = history.pending_operations()
+    assert [(op.pid, op.op_id) for op in pending] == [("p", 0)]
+    by_p = [op for op in history.complete_operations() if op.pid == "p"]
+    assert sorted(op.op_id for op in by_p) == [1, 2]
+    by_q = [op for op in history.complete_operations() if op.pid == "q"]
+    assert len(by_q) == 30
+
+
+def test_match_rule_crashes_on_meaning_not_arrival_index():
+    """Two racing workers can swap arrival indices; a match rule keys
+    on the request itself, so the intended victim crashes regardless."""
+    rt = ProcessRuntime(
+        _build_main,
+        faults=ScriptedFaultPlan(
+            match=[(("p", None, "read"), CrashDecision("p"))],
+        ),
+    )
+    rt.add_program_factory("p", _read_factory, args=(3,))
+    rt.add_program_factory("q", _read_factory, args=(3,))
+    history = rt.run()
+    assert rt.crashed == ("p",)
+    assert {op.pid for op in history.pending_operations()} == {"p"}
+    by_q = [op for op in history.complete_operations() if op.pid == "q"]
+    assert len(by_q) == 3
+
+
+# -- fault determinism across start methods ------------------------------------
+
+
+def _decision_grid(plan):
+    return [
+        repr(plan.decide(step, pid, "areg.R", "read"))
+        for step in range(1, 25)
+        for pid in ("p", "q", "r")
+    ]
+
+
+def _grid_worker(conn, plan):
+    conn.send(_decision_grid(plan))
+    conn.close()
+
+
+@pytest.mark.parametrize("method", _START_METHODS)
+def test_fault_plan_decides_identically_across_start_methods(method):
+    """A plan pickled into a fork or spawn child decides exactly what
+    the parent's instance decides: ``decide`` carries no state the
+    process boundary could snapshot at the wrong moment."""
+    ctx = multiprocessing.get_context(method)
+    plan = SeededFaultPlan(
+        11, crash_per_10k=2000, dup_per_10k=1500, omit_per_10k=1000,
+        partition_per_10k=500, recover_per_10k=500, pids=("p", "q", "r"),
+    )
+    expected = _decision_grid(plan)
+    assert any(d != "None" for d in expected)
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_grid_worker, args=(child, plan))
+    proc.start()
+    child.close()
+    got = parent.recv()
+    proc.join(30)
+    assert got == expected
+
+
+@pytest.mark.parametrize("method", _START_METHODS)
+def test_scripted_faults_deterministic_across_start_methods(method):
+    """The same scripted plan produces the same faulty history under
+    fork and spawn: single-worker arrival order is program order, so
+    the whole outcome is start-method independent."""
+    rt = ProcessRuntime(
+        _build_main,
+        faults=ScriptedFaultPlan({2: OmitDecision("p")}),
+        start_method=method,
+    )
+    rt.add_program_factory("p", _read_factory, args=(3,))
+    history = rt.run()
+    assert len(history.complete_operations(name="read")) == 2
+    assert [op.pid for op in history.pending_operations()] == ["p"]
+    assert rt.steps_taken == 2
 
 
 # -- the stress harness on the process runtime --------------------------------
