@@ -2,6 +2,7 @@
 
     python -m repro                     # overview
     python -m repro experiments [E...]  # run experiment drivers
+    python -m repro campaign run SPEC   # declarative multi-section campaign
     python -m repro sweep [options]     # parallel seeded sweep (engine)
     python -m repro check [options]     # model checking (repro.mc)
     python -m repro fuzz [options]      # schedule fuzzing (repro.fuzz)
@@ -13,6 +14,16 @@
 
 (The ``repro`` console script, installed via pyproject, is the same
 entry point.)
+
+Campaign example -- one declarative spec crossing scenarios, runtimes,
+fault settings and seeds across any of the subsystems below, run as
+one resumable invocation (see DESIGN.md section 12)::
+
+    python -m repro campaign run spec.toml --workers 4 --out nightly
+    python -m repro campaign example > spec.toml   # a worked template
+
+Each legacy subcommand accepts ``--print-spec`` to emit its campaign
+equivalent instead of running.
 
 Sweep example -- 64 derived seeds per grid point, fanned out over 4
 worker processes, streamed to a resumable JSONL checkpoint::
@@ -61,6 +72,7 @@ Quick serial sanity passes (used by CI)::
     python -m repro fuzz --smoke --expect-violation
     python -m repro stress --smoke
     python -m repro serve --smoke
+    python -m repro campaign run --smoke
 """
 
 from __future__ import annotations
@@ -78,6 +90,8 @@ def _overview() -> int:
     print()
     print("commands:")
     print("  python -m repro experiments [names]   run experiment drivers")
+    print("  python -m repro campaign run SPEC     declarative campaign "
+          "(crossed sections)")
     print("  python -m repro sweep [options]       parallel seeded sweep")
     print("  python -m repro check [options]       model checking "
           "(all interleavings)")
@@ -93,6 +107,8 @@ def _overview() -> int:
     print("  python -m repro version               print the version")
     print()
     print("examples:")
+    print("  python -m repro campaign example > spec.toml && "
+          "python -m repro campaign run spec.toml")
     print("  python -m repro sweep --seeds 64 --workers 4 --out sweep.jsonl")
     print("  python -m repro check --compare --workers 4 --out mc.jsonl")
     print("  python -m repro fuzz --target buggy-maxreg-deep "
@@ -103,38 +119,40 @@ def _overview() -> int:
     return 0
 
 
-def _add_engine_options(
-    parser,
-    *,
-    workers_default=0,
-    workers_help="worker processes (default: one per CPU; 1 = serial)",
-    out_help="JSONL checkpoint: one canonical record per execution; "
-    "rerunning with the same file resumes an interrupted run",
-    include_workers=True,
-    include_resume=True,
-):
-    """The ``--workers``/``--out`` wiring shared by engine-backed
-    subcommands (``sweep``, ``check``, ``stress``)."""
-    if include_workers:
-        parser.add_argument(
-            "--workers", type=int, default=workers_default, metavar="W",
-            help=workers_help,
-        )
+#: Help-epilog pointer added to every subcommand that has a campaign
+#: equivalent (the deprecation path for hand-rolled CLI matrices).
+_CAMPAIGN_EPILOG = (
+    "This subcommand has a declarative equivalent: 'python -m repro "
+    "campaign run SPEC' runs the same work as one section of a "
+    "multi-section campaign spec (crossed axes, per-section resumable "
+    "checkpoints).  --print-spec emits this invocation's spec instead "
+    "of running it."
+)
+
+
+def _add_print_spec(parser) -> None:
     parser.add_argument(
-        "--out", default=None, metavar="FILE", help=out_help,
+        "--print-spec", action="store_true",
+        help="print the equivalent campaign spec (TOML) and exit "
+        "instead of running (see python -m repro campaign)",
     )
-    if include_resume:
-        parser.add_argument(
-            "--no-resume", action="store_true",
-            help="ignore any existing records in --out and rerun everything",
-        )
+
+
+def _maybe_print_spec(kind: str, args) -> bool:
+    """Handle ``--print-spec``: emit the synthesized campaign spec."""
+    if not getattr(args, "print_spec", False):
+        return False
+    from repro.campaign import dumps_spec, spec_from_cli
+
+    sys.stdout.write(dumps_spec(spec_from_cli(kind, args)))
+    return True
 
 
 def _sweep(argv) -> int:
     """The ``sweep`` subcommand: seeded executions through the engine."""
     import argparse
-    import os
 
+    from repro.campaign import EngineOptions, OutputOptions
     from repro.engine import (
         aggregate_counts,
         all_clean,
@@ -153,6 +171,7 @@ def _sweep(argv) -> int:
         "per execution.  Seeds are derived deterministically from "
         "--root-seed, so results depend only on the grid, never on "
         "worker count or scheduling.",
+        epilog=_CAMPAIGN_EPILOG,
     )
     parser.add_argument(
         "--object", choices=("register", "snapshot"), default="register",
@@ -174,11 +193,13 @@ def _sweep(argv) -> int:
         "--writers", type=int, nargs="+", default=[1, 2],
         help="writer counts for the register grid (default: 1 2)",
     )
-    _add_engine_options(
+    EngineOptions.add_to_parser(parser)
+    OutputOptions.add_to_parser(
         parser,
         out_help="JSONL checkpoint: one canonical record per execution; "
         "rerunning with the same file resumes an interrupted sweep",
     )
+    _add_print_spec(parser)
     parser.add_argument(
         "--smoke", action="store_true",
         help="tiny serial sweep (2 seeds, one grid point) for CI",
@@ -187,7 +208,10 @@ def _sweep(argv) -> int:
 
     if args.smoke:
         args.seeds, args.readers, args.writers, args.workers = 2, [1], [1], 1
-    workers = args.workers or os.cpu_count() or 1
+    if _maybe_print_spec("sweep", args):
+        return 0
+    workers = EngineOptions.from_args(args).resolved
+    output = OutputOptions.from_args(args)
 
     if args.object == "register":
         grid = Sweep({"num_readers": args.readers,
@@ -211,8 +235,8 @@ def _sweep(argv) -> int:
         task_fn,
         tasks,
         workers=workers,
-        checkpoint=args.out,
-        resume=not args.no_resume,
+        checkpoint=output.out,
+        resume=output.resume,
         progress=progress,
     )
 
@@ -247,6 +271,7 @@ def _check(argv) -> int:
     """The ``check`` subcommand: model checking through ``repro.mc``."""
     import argparse
 
+    from repro.campaign import EngineOptions, OutputOptions
     from repro.harness.tables import render_table
     from repro.mc import ExplorationBudgetExceeded, explore
     from repro.mc.parallel import explore_parallel
@@ -260,6 +285,7 @@ def _check(argv) -> int:
         "checked on each explored execution.  Budgets bound the "
         "exploration; exceeding one reports the partial evidence and "
         "exits 2.",
+        epilog=_CAMPAIGN_EPILOG,
     )
     parser.add_argument(
         "--scenario", nargs="+", default=None, metavar="NAME",
@@ -293,15 +319,19 @@ def _check(argv) -> int:
         "--max-depth", type=int, default=200, metavar="D",
         help="schedule-depth budget (default: 200)",
     )
-    _add_engine_options(
+    EngineOptions.add_to_parser(
         parser,
-        workers_default=1,
-        workers_help="worker processes for parallel frontier fan-out "
+        default=1,
+        help="worker processes for parallel frontier fan-out "
         "(default: 1 = serial; 0 = one per CPU)",
+    )
+    OutputOptions.add_to_parser(
+        parser,
         out_help="JSONL checkpoint: one canonical record per explored "
         "subtree; rerunning with the same file resumes an interrupted "
         "check (implies the frontier engine even with --workers 1)",
     )
+    _add_print_spec(parser)
     parser.add_argument(
         "--frontier-depth", type=int, default=6, metavar="D",
         help="depth at which subtrees are handed to workers "
@@ -338,9 +368,13 @@ def _check(argv) -> int:
         names = ["alg1-w1-r1"]
         args.workers, args.out, args.compare = 1, None, False
         args.baseline = False
+    args.scenario = names
+    if _maybe_print_spec("check", args):
+        return 0
+    output = OutputOptions.from_args(args)
     reduce = not args.baseline
     fingerprints = reduce and not args.no_fingerprints
-    use_engine = args.workers != 1 or args.out is not None
+    use_engine = args.workers != 1 or output.out is not None
 
     rows = []
     failed = partial = False
@@ -373,9 +407,9 @@ def _check(argv) -> int:
         try:
             if use_engine:
                 out = None
-                if args.out:
+                if output.out:
                     suffix = f".{name}" if len(names) > 1 else ""
-                    out = args.out + suffix
+                    out = output.out + suffix
                 report = explore_parallel(
                     name,
                     workers=args.workers or None,
@@ -383,7 +417,7 @@ def _check(argv) -> int:
                     max_executions=args.max_executions,
                     max_depth=args.max_depth,
                     reduce=reduce, fingerprints=fingerprints,
-                    checkpoint=out, resume=not args.no_resume,
+                    checkpoint=out, resume=output.resume,
                 )
             else:
                 factory, check = get_scenario(name)()
@@ -447,8 +481,8 @@ def _fuzz(argv) -> int:
     """The ``fuzz`` subcommand: randomized schedule search
     (``repro.fuzz``) with replay and counterexample shrinking."""
     import argparse
-    import os
 
+    from repro.campaign import EngineOptions, OutputOptions
     from repro.fuzz import (
         DEFAULT_MAX_STEPS,
         ReplayMismatch,
@@ -475,6 +509,7 @@ def _fuzz(argv) -> int:
         "schedules clean, 1 a violation was found, 2 the wall-clock "
         "budget expired before the campaign finished (PARTIAL) or a "
         "usage error.",
+        epilog=_CAMPAIGN_EPILOG,
     )
     parser.add_argument(
         "--target", nargs="+", default=None, metavar="NAME",
@@ -546,14 +581,18 @@ def _fuzz(argv) -> int:
         help="invert the verdict for CI: exit 0 iff a violation was "
         "found (campaign) or reproduced (--replay)",
     )
-    _add_engine_options(
+    EngineOptions.add_to_parser(
         parser,
-        workers_default=1,
-        workers_help="worker processes for batch fan-out "
+        default=1,
+        help="worker processes for batch fan-out "
         "(default: 1 = serial; 0 = one per CPU)",
+    )
+    OutputOptions.add_to_parser(
+        parser,
         out_help="JSONL checkpoint: one canonical record per batch; "
         "rerunning with the same file resumes an interrupted campaign",
     )
+    _add_print_spec(parser)
     parser.add_argument(
         "--smoke", action="store_true",
         help="small fixed campaign on the naive baseline's seeded "
@@ -636,12 +675,15 @@ def _fuzz(argv) -> int:
         )
         return 2
 
+    if _maybe_print_spec("fuzz", args):
+        return 0
+    output = OutputOptions.from_args(args)
     sampler_params = {}
     if args.sampler == "pct":
         sampler_params["depth"] = args.pct_depth
     if args.sampler == "fault":
         sampler_params["max_rate_per_10k"] = args.fault_max_rate
-    workers = args.workers or os.cpu_count() or 1
+    workers = EngineOptions.from_args(args).resolved
 
     def progress(done, total, record):
         if done % 4 == 0 or done == total:
@@ -659,8 +701,8 @@ def _fuzz(argv) -> int:
             max_steps=args.max_steps,
             shrink=not args.no_shrink,
             workers=workers,
-            checkpoint=args.out,
-            resume=not args.no_resume,
+            checkpoint=output.out,
+            resume=output.resume,
             time_budget=args.time_budget,
             stop_on_violation=not args.keep_going,
             progress=progress,
@@ -749,6 +791,7 @@ def _stress(argv) -> int:
     """The ``stress`` subcommand: real threads through ``repro.rt``."""
     import argparse
 
+    from repro.campaign import OutputOptions
     from repro.rt import STRESS_OBJECTS, STRESS_RUNTIMES, run_stress
 
     parser = argparse.ArgumentParser(
@@ -760,7 +803,10 @@ def _stress(argv) -> int:
         "budget and/or a wall-clock duration.  Reports ops/sec and "
         "latency percentiles; for bounded budgets the recorded history "
         "is post-validated by the linearizability checker (and, where "
-        "the syntactic oracle applies, audit exactness).",
+        "the syntactic oracle applies, audit exactness).  Exit codes: "
+        "0 clean, 1 a validation failure, 2 an undecided "
+        "linearizability verdict (node budget) or a usage error.",
+        epilog=_CAMPAIGN_EPILOG,
     )
     parser.add_argument(
         "--object", choices=STRESS_OBJECTS, default="register",
@@ -797,10 +843,11 @@ def _stress(argv) -> int:
     )
     parser.add_argument(
         "--faults", default=None, metavar="FAMILIES",
-        help="chaos mode (process runtime only): comma-separated fault "
-        "families injected at the memory server, from: crash, delay, "
-        "partition, dup, omit, recover (e.g. --faults "
-        "crash,partition,dup)",
+        help="chaos mode: comma-separated fault families injected at "
+        "the primitive-arrival seam.  The process runtime supports "
+        "crash, delay, partition, dup, omit, recover (served at the "
+        "memory server); the thread runtime supports crash, delay "
+        "(e.g. --faults crash,partition,dup)",
     )
     parser.add_argument(
         "--fault-rate", type=int, default=100, metavar="N",
@@ -843,13 +890,13 @@ def _stress(argv) -> int:
         "end as hung (default 60; raise for bounded op budgets that "
         "legitimately take minutes, 0 = wait forever)",
     )
-    _add_engine_options(
+    OutputOptions.add_to_parser(
         parser,
-        include_workers=False,
         include_resume=False,
         out_help="append one canonical JSONL record of the run's "
         "metrics and verdicts to FILE",
     )
+    _add_print_spec(parser)
     parser.add_argument(
         "--smoke", action="store_true",
         help="small fixed run (register, 4 workers, 8 ops/worker, "
@@ -863,6 +910,9 @@ def _stress(argv) -> int:
         args.readers = args.writers = args.auditors = None
     if args.ops is None and args.duration is None:
         args.ops = 25
+    if _maybe_print_spec("stress", args):
+        return 0
+    output = OutputOptions.from_args(args)
 
     try:
         report = run_stress(
@@ -892,13 +942,21 @@ def _stress(argv) -> int:
         print(f"stress: {exc}", file=sys.stderr)
         return 2
     print(report.render())
-    if args.out:
+    if output.out:
         from repro.engine.engine import encode_record
 
-        with open(args.out, "a", encoding="utf-8") as handle:
+        with open(output.out, "a", encoding="utf-8") as handle:
             handle.write(encode_record(report.to_payload()) + "\n")
-        print(f"  record appended: {args.out}")
-    return 0 if report.ok else 1
+        print(f"  record appended: {output.out}")
+    if not report.ok:
+        return 1
+    from repro.analysis.fastlin import LIN_UNDECIDED
+
+    if report.validated and report.lin_status == LIN_UNDECIDED:
+        # The node budget expired before a verdict: inconclusive, the
+        # same PARTIAL exit every other subcommand uses — not success.
+        return 2
+    return 0
 
 
 def _serve(argv) -> int:
@@ -907,6 +965,7 @@ def _serve(argv) -> int:
     import argparse
     import json
 
+    from repro.campaign import OutputOptions
     from repro.rt.serve import VerdictServer, serve_file, serve_lines
 
     parser = argparse.ArgumentParser(
@@ -959,6 +1018,12 @@ def _serve(argv) -> int:
         "--progress", type=int, default=0, metavar="N",
         help="print rolling progress (frontier, residency) every N "
         "events to stderr",
+    )
+    OutputOptions.add_to_parser(
+        parser,
+        include_resume=False,
+        out_help="append one canonical JSONL record of the served "
+        "verdict to FILE (the stress --out convention)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -1023,6 +1088,21 @@ def _serve(argv) -> int:
         print(f"serve: invalid event log: {exc}", file=sys.stderr)
         return 2
     print(outcome.render())
+    if args.out:
+        from repro.engine.engine import encode_record
+
+        record = {
+            "kind": "serve",
+            "status": outcome.status,
+            "lin_ok": outcome.lin_ok,
+            "audit_ok": outcome.audit_ok,
+            "clean_end": outcome.clean_end,
+            "meta": outcome.meta,
+            "stream": outcome.stream,
+        }
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write(encode_record(record) + "\n")
+        print(f"  record appended: {args.out}")
     return outcome.exit_code
 
 
@@ -1090,7 +1170,6 @@ def _lin(argv) -> int:
     service on recorded histories (field profiling)."""
     import argparse
     import json
-    import os
     import time
 
     from repro.analysis.fastlin import (
@@ -1100,6 +1179,7 @@ def _lin(argv) -> int:
         check_histories_parallel,
         spec_names,
     )
+    from repro.campaign import EngineOptions, OutputOptions
     from repro.harness.tables import render_table
 
     parser = argparse.ArgumentParser(
@@ -1138,11 +1218,14 @@ def _lin(argv) -> int:
         help="search-node budget per history; exhausting it yields an "
         f"UNDECIDED verdict and exit code 2 (default: {DEFAULT_MAX_NODES})",
     )
-    _add_engine_options(
+    EngineOptions.add_to_parser(
         parser,
-        workers_default=1,
-        workers_help="worker processes for the batched verdict service "
+        default=1,
+        help="worker processes for the batched verdict service "
         "(default: 1 = serial; 0 = one per CPU)",
+    )
+    OutputOptions.add_to_parser(
+        parser,
         out_help="JSONL checkpoint: one canonical verdict record per "
         "history; rerunning with the same file resumes an interrupted "
         "batch",
@@ -1223,15 +1306,16 @@ def _lin(argv) -> int:
         print(f"lin: {args.history} holds no histories", file=sys.stderr)
         return 2
 
-    workers = args.workers or os.cpu_count() or 1
+    workers = EngineOptions.from_args(args).resolved
+    output = OutputOptions.from_args(args)
     start = time.perf_counter()
     try:
         verdicts = check_histories_parallel(
             jobs,
             workers=workers,
             max_nodes=args.max_nodes,
-            checkpoint=args.out,
-            resume=not args.no_resume,
+            checkpoint=output.out,
+            resume=output.resume,
         )
     except (KeyError, TypeError, ValueError) as exc:
         # Undecodable payload values or an unknown spec name are input
@@ -1260,11 +1344,184 @@ def _lin(argv) -> int:
         f"{elapsed:.3f}s with {workers} worker(s); "
         f"{failed} not linearizable, {undecided} undecided"
     )
-    if args.out:
-        print(f"  records: {args.out}")
+    if output.out:
+        print(f"  records: {output.out}")
     if failed:
         return 1
     return 2 if undecided else 0
+
+
+def _campaign_smoke_spec():
+    """The built-in CI campaign: one check + one fuzz section, clean."""
+    from repro.campaign import CampaignSpec
+
+    spec = CampaignSpec(name="smoke")
+    spec.section(
+        "mc", "check", max_executions=50_000,
+    ).axis("scenario", "alg1-w1-r1")
+    spec.section(
+        "fuzzing", "fuzz", seeds=[0, 1], schedules=8, batch=8,
+    ).axis("target", "alg1-w1-r1")
+    return spec
+
+
+def _campaign_example_spec():
+    """The worked template ``repro campaign example`` prints (the one
+    DESIGN.md section 12 and the README walk through)."""
+    from repro.campaign import CampaignSpec
+
+    spec = CampaignSpec(name="nightly", root_seed=0)
+    spec.section(
+        "mc", "check", max_executions=100_000,
+    ).axis("scenario", "alg1-w1-r1", "alg2-w1-r1")
+    chaos = spec.section(
+        "chaos-stress", "stress",
+        seeds=[0, 1], threads=3, ops=8, faults="crash,delay",
+    )
+    chaos.axis("object", "register", "max")
+    chaos.axis("runtime", "thread", "process")
+    chaos.axis("fault_rate", 0, 150)
+    spec.section(
+        "fuzzing", "fuzz", seeds=2, schedules=32, batch=16,
+    ).axis("target", "alg1-w2", "alg1-w1-a1")
+    return spec
+
+
+def _campaign(argv) -> int:
+    """The ``campaign`` subcommand: declarative multi-section campaigns
+    (``repro.campaign``) compiled onto the execution engine."""
+    import argparse
+
+    from repro.campaign import (
+        EngineOptions,
+        OutputOptions,
+        SpecError,
+        compile_spec,
+        dumps_spec,
+        load_spec,
+        render_outcome,
+        run_spec,
+        section_checkpoint,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Run a declarative campaign spec: ordered sections, "
+        "each crossing axes (scenarios x runtimes x fault plans x "
+        "seeds) into concrete points executed through the engine's "
+        "byte-identical resumable JSONL contract, one checkpoint file "
+        "per section.  Exit codes: 0 every point PASS, 1 any point "
+        "FAIL, 2 no failures but at least one PARTIAL (or a usage "
+        "error).  See DESIGN.md section 12.",
+    )
+    actions = parser.add_subparsers(dest="action", metavar="ACTION")
+
+    run_parser = actions.add_parser(
+        "run", help="execute a spec (TOML/JSON file, or --smoke)",
+    )
+    run_parser.add_argument(
+        "spec", nargs="?", metavar="SPEC",
+        help="campaign spec file (.toml, or .json for Python < 3.11)",
+    )
+    EngineOptions.add_to_parser(
+        run_parser,
+        default=None,
+        help="worker processes per section (default: the spec's own "
+        "workers value; 0 = one per CPU; 1 = serial; sections whose "
+        "executor is serial-only always run with 1)",
+    )
+    OutputOptions.add_to_parser(
+        run_parser,
+        out_help="checkpoint base path: each section writes "
+        "OUT.<section>.jsonl; rerunning resumes finished sections "
+        "instantly and interrupted sections mid-file",
+    )
+    run_parser.add_argument(
+        "--only", nargs="+", default=None, metavar="SECTION",
+        help="run only the named sections (in spec order)",
+    )
+    run_parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the built-in CI campaign (one check section + one "
+        "two-seed fuzz section) instead of a spec file",
+    )
+
+    show_parser = actions.add_parser(
+        "show", help="validate and summarize a spec without running it",
+    )
+    show_parser.add_argument("spec", metavar="SPEC")
+
+    actions.add_parser(
+        "example", help="print a worked spec.toml template to stdout",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.action == "example":
+        sys.stdout.write(dumps_spec(_campaign_example_spec()))
+        return 0
+
+    if args.action == "show":
+        try:
+            spec = load_spec(args.spec)
+            compiled = compile_spec(spec)
+        except SpecError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+        print(f"campaign {spec.name!r} (root_seed={spec.root_seed}):")
+        for section in spec.sections:
+            axes = " x ".join(
+                f"{axis.name}[{len(axis.values)}]"
+                for axis in section.axes
+            ) or "(no axes)"
+            print(
+                f"  [{section.kind}] {section.name}: {axes} -> "
+                f"{len(compiled[section.name])} points"
+            )
+        print(f"  total: {sum(len(t) for t in compiled.values())} points")
+        return 0
+
+    if args.action != "run":
+        parser.error("an ACTION is required (run, show or example)")
+    if args.smoke and args.spec:
+        print(
+            "--smoke runs the built-in campaign and cannot be combined "
+            "with a SPEC file",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.smoke and not args.spec:
+        run_parser.error("a SPEC file is required (or --smoke)")
+
+    output = OutputOptions.from_args(args)
+    try:
+        spec = (
+            _campaign_smoke_spec() if args.smoke else load_spec(args.spec)
+        )
+
+        def progress(section, done, total):
+            if done % 5 == 0 or done == total:
+                print(
+                    f"campaign [{section} {done}/{total}]",
+                    file=sys.stderr, flush=True,
+                )
+
+        outcome = run_spec(
+            spec,
+            workers=args.workers,
+            out=output.out,
+            resume=output.resume,
+            only=args.only,
+            progress=progress,
+        )
+    except SpecError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    print(render_outcome(outcome))
+    if output.out:
+        for section in outcome.sections:
+            print(f"  records: {section_checkpoint(output.out, section.name)}")
+    return outcome.exit_code
 
 
 def main(argv=None) -> int:
@@ -1281,6 +1538,8 @@ def main(argv=None) -> int:
         from repro.harness.experiments import main as experiments_main
 
         return experiments_main(rest)
+    if command == "campaign":
+        return _campaign(rest)
     if command == "sweep":
         return _sweep(rest)
     if command == "check":

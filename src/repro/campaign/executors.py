@@ -1,0 +1,399 @@
+"""Campaign executors: one protocol, five subsystems.
+
+An :class:`Executor` turns one :class:`~repro.campaign.spec.CampaignPoint`
+into a canonical JSON payload carrying a ``verdict`` -- ``"PASS"``,
+``"FAIL"`` or ``"PARTIAL"`` -- plus deterministic evidence counters.
+This is the dispatch seam the per-subcommand CLI glue used to hand-roll
+six times over: each executor wraps the *same* underlying entry point
+its subcommand calls (``explore`` for ``check``, ``run_campaign`` for
+``fuzz``, ``run_stress`` for ``stress``, the sweep task functions for
+``sweep``, ``lin_check_task`` for ``lin``), so a campaign point's
+verdict matches the equivalent standalone invocation exactly.
+
+Determinism: payloads must be pure functions of ``(seed, params)`` so
+the engine's byte-identical JSONL contract holds for campaign
+checkpoints.  The stress executor therefore strips all wall-clock
+fields (throughput, latency) from its payload -- timing belongs to the
+interactive ``repro stress`` report, never to campaign records -- and
+``serial_only`` keeps stress points out of the worker pool: the process
+runtime spawns OS processes, which daemonic pool workers may not, and
+thread-runtime timing under pool contention would be meaningless.
+
+``campaign_point_task`` is the single module-level engine task function
+(picklable by reference) through which every campaign point runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.campaign.spec import SpecError
+
+PASS, FAIL, PARTIAL = "PASS", "FAIL", "PARTIAL"
+
+
+class Executor:
+    """One subsystem's adapter onto the campaign point contract.
+
+    Subclasses set ``kind`` (the spec's section ``kind`` value) and
+    implement :meth:`execute`; ``validate_point`` may reject bad params
+    at compile time with :class:`~repro.campaign.spec.SpecError`, before
+    any work runs.  ``serial_only`` forces the section onto one worker
+    (see the module docstring).
+    """
+
+    kind: str = ""
+    serial_only: bool = False
+
+    def validate_point(self, params: Dict[str, Any]) -> None:
+        """Raise :class:`SpecError` for params this kind cannot run."""
+
+    def execute(self, seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Executor] = {}
+
+
+def register_executor(executor: Executor) -> Executor:
+    if not executor.kind:
+        raise ValueError("executor needs a kind")
+    _REGISTRY[executor.kind] = executor
+    return executor
+
+
+def executor_for(kind: str) -> Executor:
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SpecError(
+            f"unknown section kind {kind!r} (known: {known})"
+        ) from None
+
+
+def executor_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def campaign_point_task(
+    seed: int, kind: str = "check", point: Dict[str, Any] = None
+) -> Dict[str, Any]:
+    """The engine task function every campaign point dispatches through."""
+    return _REGISTRY[kind].execute(seed, dict(point or {}))
+
+
+def _require(params: Dict[str, Any], key: str, kind: str) -> None:
+    if key not in params:
+        raise SpecError(
+            f"a {kind!r} point needs a {key!r} value "
+            "(as an axis or a param)"
+        )
+
+
+def _unknown(params: Dict[str, Any], allowed, kind: str) -> None:
+    extra = set(params) - set(allowed)
+    if extra:
+        raise SpecError(
+            f"unknown {kind!r} point param(s): "
+            f"{', '.join(sorted(extra))} (allowed: "
+            f"{', '.join(sorted(allowed))})"
+        )
+
+
+class CheckExecutor(Executor):
+    """Model checking: one point = one scenario explored to its budgets.
+
+    The ``seed`` is part of the record but unused -- exploration is
+    exhaustive, not sampled.
+    """
+
+    kind = "check"
+    _ALLOWED = (
+        "scenario", "max_executions", "max_depth", "reduce",
+        "fingerprints",
+    )
+
+    def validate_point(self, params: Dict[str, Any]) -> None:
+        _require(params, "scenario", self.kind)
+        _unknown(params, self._ALLOWED, self.kind)
+        from repro.mc.scenarios import scenario_names
+
+        if params["scenario"] not in scenario_names():
+            raise SpecError(
+                f"unknown scenario {params['scenario']!r} "
+                "(see python -m repro check --list)"
+            )
+
+    def execute(self, seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.mc import ExplorationBudgetExceeded, explore
+        from repro.mc.scenarios import get_scenario
+
+        factory, check = get_scenario(params["scenario"])()
+        budget_note = None
+        try:
+            report = explore(
+                factory, check,
+                max_executions=params.get("max_executions", 300_000),
+                max_depth=params.get("max_depth", 200),
+                reduce=params.get("reduce", True),
+                fingerprints=params.get(
+                    "fingerprints", params.get("reduce", True)
+                ),
+            )
+        except ExplorationBudgetExceeded as exc:
+            report = exc.report
+            budget_note = str(exc)
+        # A proven violation outranks an exhausted budget (the repro
+        # check convention): partial coverage that found a bug is FAIL.
+        verdict = (
+            FAIL if report.violations
+            else (PARTIAL if budget_note else PASS)
+        )
+        return {
+            "verdict": verdict,
+            "scenario": params["scenario"],
+            "executions": report.executions,
+            "distinct_states": report.distinct_states,
+            "violations": [str(v) for v in report.violations[:5]],
+            "budget": budget_note,
+        }
+
+register_executor(CheckExecutor())
+
+
+class FuzzExecutor(Executor):
+    """Schedule fuzzing: one point = one seeded mini-campaign of one
+    target, batched exactly as ``repro fuzz --seed <point seed>`` would
+    batch it, so violations (and their shrunk counterexample traces,
+    which ride along in the payload) match the standalone CLI."""
+
+    kind = "fuzz"
+    _ALLOWED = (
+        "target", "sampler", "schedules", "batch", "max_steps",
+        "shrink", "shrink_checks", "sampler_params", "stop_on_violation",
+    )
+
+    def validate_point(self, params: Dict[str, Any]) -> None:
+        _require(params, "target", self.kind)
+        _unknown(params, self._ALLOWED, self.kind)
+        from repro.fuzz import sampler_names, target_names
+
+        if params["target"] not in target_names():
+            raise SpecError(
+                f"unknown fuzz target {params['target']!r} "
+                "(see python -m repro fuzz --list)"
+            )
+        sampler = params.get("sampler", "uniform")
+        if sampler not in sampler_names():
+            raise SpecError(f"unknown sampler {sampler!r}")
+
+    def execute(self, seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.fuzz.campaign import run_campaign
+        from repro.fuzz.executor import DEFAULT_MAX_STEPS
+
+        report = run_campaign(
+            [params["target"]],
+            schedules=params.get("schedules", 256),
+            batch=params.get("batch", 32),
+            sampler=params.get("sampler", "uniform"),
+            sampler_params=params.get("sampler_params"),
+            root_seed=seed,
+            max_steps=params.get("max_steps", DEFAULT_MAX_STEPS),
+            shrink=params.get("shrink", True),
+            shrink_checks=params.get("shrink_checks", 2000),
+            workers=1,
+            stop_on_violation=params.get("stop_on_violation", True),
+        )
+        verdict = FAIL if report.violations else PASS
+        return {
+            "verdict": verdict,
+            "target": params["target"],
+            "sampler": params.get("sampler", "uniform"),
+            "schedules": report.schedules,
+            "steps": report.steps,
+            "incomplete": report.incomplete,
+            "violations": report.violations,
+            "verdicts": report.verdicts,
+            "first_violation": report.first_violation,
+        }
+
+register_executor(FuzzExecutor())
+
+
+class StressExecutor(Executor):
+    """Runtime stress: one point = one bounded, validated stress run.
+
+    Campaign stress points require an op budget (``ops``): duration
+    runs measure wall-clock throughput, which cannot produce
+    deterministic records.  The payload keeps only the verdict-bearing
+    fields; throughput and latency stay in the interactive CLI report.
+    """
+
+    kind = "stress"
+    serial_only = True
+    _ALLOWED = (
+        "object", "runtime", "threads", "readers", "writers",
+        "auditors", "ops", "faults", "fault_rate", "validate",
+        "max_substrate", "snapshot_substrate",
+    )
+
+    def validate_point(self, params: Dict[str, Any]) -> None:
+        _require(params, "object", self.kind)
+        _unknown(params, self._ALLOWED, self.kind)
+        from repro.rt import STRESS_OBJECTS, STRESS_RUNTIMES
+
+        if params["object"] not in STRESS_OBJECTS:
+            raise SpecError(f"unknown stress object {params['object']!r}")
+        runtime = params.get("runtime", "thread")
+        if runtime not in STRESS_RUNTIMES:
+            raise SpecError(f"unknown stress runtime {runtime!r}")
+        ops = params.get("ops", 16)
+        if not isinstance(ops, int) or ops < 1:
+            raise SpecError(
+                "campaign stress points need a bounded per-worker op "
+                "budget (ops >= 1); duration runs are not deterministic"
+            )
+        faults = params.get("faults")
+        if faults:
+            from repro.faults import parse_fault_families
+            from repro.rt.stress import supported_fault_families
+
+            families = parse_fault_families(faults)
+            supported = supported_fault_families(runtime)
+            bad = [f for f in families if f not in supported]
+            if bad:
+                raise SpecError(
+                    f"fault families {', '.join(bad)} are not supported "
+                    f"on the {runtime!r} runtime (supported: "
+                    f"{', '.join(supported)})"
+                )
+
+    def execute(self, seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.analysis.fastlin import LIN_UNDECIDED
+        from repro.rt import run_stress
+
+        faults = params.get("faults") or None
+        report = run_stress(
+            params["object"],
+            threads=params.get("threads", 4),
+            readers=params.get("readers"),
+            writers=params.get("writers"),
+            auditors=params.get("auditors"),
+            ops=params.get("ops", 16),
+            seed=seed,
+            validate=params.get("validate", True),
+            max_substrate=params.get("max_substrate", "atomic"),
+            snapshot_substrate=params.get("snapshot_substrate", "afek"),
+            runtime=params.get("runtime", "thread"),
+            faults=faults,
+            fault_rate=params.get("fault_rate", 100),
+            record_latency=False,
+        )
+        if not report.ok:
+            verdict = FAIL
+        elif report.validated and report.lin_status == LIN_UNDECIDED:
+            verdict = PARTIAL
+        else:
+            verdict = PASS
+        return {
+            "verdict": verdict,
+            "object": report.object,
+            "runtime": report.runtime,
+            "readers": report.readers,
+            "writers": report.writers,
+            "auditors": report.auditors,
+            "ops_budget": report.ops_budget,
+            "validated": report.validated,
+            "lin_ok": report.lin_ok,
+            "lin_status": report.lin_status,
+            "audit_ok": report.audit_ok,
+            "faults": report.faults,
+        }
+
+register_executor(StressExecutor())
+
+
+class SweepExecutor(Executor):
+    """Seeded sweeps: one point = one fully-checked seeded execution
+    (the exact granularity of ``repro sweep``'s engine tasks)."""
+
+    kind = "sweep"
+    _REGISTER = (
+        "num_readers", "num_writers", "num_auditors", "reads_per_reader",
+        "writes_per_writer", "audits_per_auditor",
+    )
+    _SNAPSHOT = (
+        "components", "num_scanners", "updates_per_component",
+        "scans_per_scanner", "substrate",
+    )
+
+    def validate_point(self, params: Dict[str, Any]) -> None:
+        _require(params, "object", self.kind)
+        kind_ = params["object"]
+        if kind_ == "register":
+            allowed = ("object",) + self._REGISTER
+        elif kind_ == "snapshot":
+            allowed = ("object",) + self._SNAPSHOT
+        else:
+            raise SpecError(
+                f"unknown sweep object {kind_!r} "
+                "(choose register or snapshot)"
+            )
+        _unknown(params, allowed, self.kind)
+
+    def execute(self, seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.engine.tasks import (
+            register_sweep_task,
+            snapshot_sweep_task,
+        )
+
+        kwargs = {k: v for k, v in params.items() if k != "object"}
+        if params["object"] == "register":
+            payload = register_sweep_task(seed, **kwargs)
+        else:
+            payload = snapshot_sweep_task(seed, **kwargs)
+        fails = [
+            key for key in
+            ("lin_fail", "audit_fail", "structural_fail")
+            if payload.get(key)
+        ]
+        payload = dict(payload)
+        payload["verdict"] = FAIL if fails else PASS
+        payload["object"] = params["object"]
+        return payload
+
+register_executor(SweepExecutor())
+
+
+class LinExecutor(Executor):
+    """Batched linearizability verdicts: one point = one recorded
+    history checked against a named spec (``repro lin``'s task)."""
+
+    kind = "lin"
+    _ALLOWED = ("history", "spec", "spec_params", "max_nodes")
+
+    def validate_point(self, params: Dict[str, Any]) -> None:
+        _require(params, "history", self.kind)
+        _unknown(params, self._ALLOWED, self.kind)
+        from repro.analysis.fastlin import spec_names
+
+        spec = params.get("spec", "register")
+        if spec not in spec_names():
+            raise SpecError(f"unknown lin spec {spec!r}")
+
+    def execute(self, seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.analysis.fastlin import LIN_FAIL, LIN_OK
+        from repro.engine.tasks import lin_check_task
+
+        kwargs = dict(params)
+        kwargs.setdefault("spec", "register")
+        payload = dict(lin_check_task(seed, **kwargs))
+        status = payload["status"]
+        payload["verdict"] = (
+            PASS if status == LIN_OK
+            else (FAIL if status == LIN_FAIL else PARTIAL)
+        )
+        return payload
+
+register_executor(LinExecutor())

@@ -1,0 +1,92 @@
+"""Campaign reporting: per-section and per-axis-slice verdict tables.
+
+The aggregate report answers the question an overnight campaign is run
+to answer: *which slice of the design matrix failed?*  Beyond the
+per-section totals, :func:`axis_slices` folds point verdicts along
+every axis of every section -- one row per ``(section, axis, value)``
+-- so a FAIL concentrated in ``runtime=process`` or
+``fault_rate=200`` is visible at a glance without grepping JSONL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.campaign.run import VERDICTS, CampaignOutcome, SectionOutcome
+from repro.campaign.spec import CampaignSpec
+
+
+def _section_axes(spec: CampaignSpec, name: str) -> List[str]:
+    for section in spec.sections:
+        if section.name == name:
+            return [axis.name for axis in section.axes]
+    return []
+
+
+def axis_slices(outcome: CampaignOutcome) -> List[Dict[str, Any]]:
+    """Verdict counts folded along each declared axis value."""
+    rows: List[Dict[str, Any]] = []
+    for section in outcome.sections:
+        for axis in _section_axes(outcome.spec, section.name):
+            by_value: Dict[Any, Dict[str, int]] = {}
+            for record in section.records:
+                point = record["params"]["point"]
+                value = point.get(axis)
+                counts = by_value.setdefault(
+                    value, {v: 0 for v in VERDICTS}
+                )
+                counts[record["payload"]["verdict"]] += 1
+            for value, counts in by_value.items():
+                rows.append({
+                    "slice": f"{section.name}/{axis}={value}",
+                    "points": sum(counts.values()),
+                    **{v.lower(): counts[v] for v in VERDICTS},
+                })
+    return rows
+
+
+def section_rows(outcome: CampaignOutcome) -> List[Dict[str, Any]]:
+    rows = []
+    for section in outcome.sections:
+        counts = section.counts
+        rows.append({
+            "section": section.name,
+            "kind": section.kind,
+            "points": len(section.records),
+            "run": section.executed,
+            "resumed": section.skipped,
+            **{v.lower(): counts[v] for v in VERDICTS},
+            "verdict": section.verdict,
+        })
+    return rows
+
+
+def render_outcome(outcome: CampaignOutcome) -> str:
+    """The human-readable campaign report (tables + one-line verdict)."""
+    from repro.harness.tables import render_table
+
+    parts = [render_table(section_rows(outcome))]
+    slices = axis_slices(outcome)
+    if slices:
+        parts.append("")
+        parts.append(render_table(slices))
+    counts = outcome.counts
+    mark = ("FAIL" if counts["FAIL"]
+            else ("PARTIAL" if counts["PARTIAL"] else "PASS"))
+    parts.append("")
+    parts.append(
+        f"  [{mark}] campaign {outcome.spec.name!r}: {outcome.points} "
+        f"points across {len(outcome.sections)} section(s) in "
+        f"{outcome.elapsed:.2f}s -- {counts['PASS']} pass, "
+        f"{counts['FAIL']} fail, {counts['PARTIAL']} partial"
+    )
+    return "\n".join(parts)
+
+
+def summarize_section(section: SectionOutcome) -> str:
+    counts = section.counts
+    return (
+        f"{section.name} [{section.kind}]: {len(section.records)} points "
+        f"({section.executed} run, {section.skipped} resumed), "
+        f"{counts['FAIL']} fail, {counts['PARTIAL']} partial"
+    )

@@ -27,6 +27,18 @@ the runtime preserves the two contracts of the model:
 Determinism is **not** preserved: interleavings come from the OS
 scheduler, so two runs of the same program may record different (both
 correct) histories.  Seeded replay remains the simulator backend's job.
+
+Fault injection: a :class:`~repro.faults.FaultPlan` may be armed on the
+runtime, consulted once per primitive *arrival* (the same seam the
+process runtime's memory server uses).  Only the fault families that
+exist without a message layer apply here -- **crash** (the worker
+thread stops, leaving its operation forever pending: exactly the
+conservative "may or may not have happened" the oracles already treat
+correctly, with the crash event recorded in the history) and **delay**
+(the worker sleeps before applying, an ordinary scheduling stall).
+Message-level families (partition/dup/omit/recover) have no thread
+analogue and are ignored if a plan emits them; ``repro stress``
+rejects them up front for this runtime.
 """
 
 from __future__ import annotations
@@ -35,14 +47,36 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.faults import FaultPlan
 from repro.rt.base import Runtime
 from repro.sim.history import History
 from repro.sim.process import Op
 from repro.sim.runner import drive_op
+from repro.sim.scheduler import CrashDecision, DelayDecision
 
 #: Default seconds granted past any --duration before a stuck thread is
 #: declared hung and surfaced instead of joined forever.
 DEFAULT_WATCHDOG = 60.0
+
+#: Injected delays are real sleeps; one "step" of server-style delay
+#: becomes this many seconds, capped so chaos plans cannot stall a
+#: bounded stress run indefinitely.
+DELAY_STEP_SECONDS = 0.001
+MAX_DELAY_SECONDS = 0.1
+
+
+class _CrashFault(BaseException):
+    """Internal: stop this worker thread at the current primitive.
+
+    Deliberately a ``BaseException`` so no handler inside an operation
+    generator can swallow it; the driving loop catches it by name and
+    stops the thread *without* reporting an error — the crash is a
+    scheduled fault, already recorded in the history.
+    """
+
+    def __init__(self, pid: str) -> None:
+        super().__init__(pid)
+        self.pid = pid
 
 
 class ThreadProcess:
@@ -103,6 +137,7 @@ class ThreadRuntime(Runtime):
         *,
         record_latency: bool = True,
         join_watchdog: Optional[float] = DEFAULT_WATCHDOG,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self._history = History()
         self._hist_lock = threading.Lock()
@@ -124,6 +159,16 @@ class ThreadRuntime(Runtime):
         self._stop = threading.Event()
         self._errors: List[Tuple[str, BaseException]] = []
         self._err_lock = threading.Lock()
+        self.faults = faults
+        # The fault lock serialises (arrival index, plan.decide) so the
+        # plan sees a totally-ordered arrival sequence, mirroring the
+        # single-threaded memory server.  Scripted plans may mutate
+        # internal state in decide(), so the call stays under the lock.
+        self._fault_lock = threading.Lock()
+        self._arrivals = 0
+        self._doomed: set = set()
+        #: Pids crashed by fault injection, in crash order.
+        self.crashed: List[str] = []
 
     # -- the runtime interface --------------------------------------------
 
@@ -257,6 +302,11 @@ class ThreadRuntime(Runtime):
                 if op is None:
                     break
                 self._run_op(process, op, local_latencies)
+        except _CrashFault:
+            # Injected crash: the in-flight operation stays pending
+            # (recorded as a crash event), the thread stops cleanly,
+            # and the run is *not* an error.
+            pass
         except BaseException as exc:  # noqa: BLE001 - reported at join
             with self._err_lock:
                 self._errors.append((process.pid, exc))
@@ -279,6 +329,8 @@ class ThreadRuntime(Runtime):
             self._history.record_invocation(pid, op_id, op.name, op.args)
 
         def apply_locked(pending):
+            if self.faults is not None:
+                self._consult_faults(pid, op_id, pending)
             with self._lock_for(pending.obj):
                 result = pending.obj.apply(pending.primitive, pending.args)
                 with self._hist_lock:
@@ -298,6 +350,38 @@ class ThreadRuntime(Runtime):
             self._history.record_response(pid, op_id, op.name, result)
         if self.record_latency:
             latencies.append((pid, op.name, time.perf_counter() - start))
+
+    def _consult_faults(self, pid: str, op_id: int, pending: Any) -> None:
+        """One primitive arrival through the fault plan.
+
+        Crash of the requester raises :class:`_CrashFault` after
+        recording the crash event; crash naming another pid dooms it at
+        *its* next primitive (matching the memory server); delay is a
+        bounded real sleep.  Message-level decisions (partition, dup,
+        omit, recover) have no thread seam and are ignored.
+        """
+        with self._fault_lock:
+            self._arrivals += 1
+            if pid in self._doomed:
+                self._doomed.discard(pid)
+                decision: Any = CrashDecision(pid)
+            else:
+                decision = self.faults.decide(
+                    self._arrivals, pid, pending.obj.name, pending.primitive
+                )
+            if isinstance(decision, CrashDecision) and decision.pid != pid:
+                self._doomed.add(decision.pid)
+                decision = None
+        if isinstance(decision, CrashDecision):
+            with self._hist_lock:
+                self._history.record_crash(pid, op_id)
+                self.crashed.append(pid)
+            raise _CrashFault(pid)
+        if isinstance(decision, DelayDecision):
+            time.sleep(min(
+                DELAY_STEP_SECONDS * max(1, decision.steps),
+                MAX_DELAY_SECONDS,
+            ))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,195 @@
+"""The CLI-wide exit-code and ``--out`` contract.
+
+Every subcommand speaks the same three-valued exit language:
+
+- ``0`` -- the run completed and the property held (or, under
+  ``--expect-violation``, the expected violation appeared);
+- ``1`` -- the run completed and found a violation / mismatch;
+- ``2`` -- inconclusive (budget expired, verdict undecided) or a
+  usage/input error (argparse's own convention).
+
+And two ``--out`` dialects, by design:
+
+- engine-checkpoint subcommands (sweep, check, fuzz, lin, campaign)
+  treat ``--out`` as a resumable canonical JSONL checkpoint --
+  rerunning with the same file resumes and leaves bytes unchanged;
+- single-verdict subcommands (stress, serve) append one record per
+  invocation -- rerunning grows the file.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_main(argv):
+    """argparse usage errors raise SystemExit(2); fold them into the
+    return-code contract the way a shell would."""
+    try:
+        return main(argv)
+    except SystemExit as exc:
+        return exc.code
+
+
+@pytest.fixture(scope="module")
+def history_files(tmp_path_factory):
+    """Three lin input files: linearizable, non-linearizable, and one
+    bulky enough that a starved node budget leaves it undecided."""
+    from repro.analysis.fastlin import op_to_payload
+    from repro.sim.history import OperationRecord
+
+    def op(pid, op_id, name, args, invoke, respond, result=None):
+        return OperationRecord(
+            pid=pid, op_id=op_id, name=name, args=args,
+            invoke_index=invoke, response_index=respond, result=result,
+        )
+
+    root = tmp_path_factory.mktemp("histories")
+
+    ok = root / "ok.jsonl"
+    ok.write_text(json.dumps([
+        op_to_payload(op("p0", 0, "write", (1,), 0, 1)),
+        op_to_payload(op("p1", 0, "read", (), 2, 3, result=1)),
+    ]) + "\n", encoding="utf-8")
+
+    bad = root / "bad.jsonl"
+    bad.write_text(json.dumps([
+        op_to_payload(op("p0", 0, "write", (1,), 0, 1)),
+        op_to_payload(op("p1", 0, "read", (), 2, 3, result=2)),
+    ]) + "\n", encoding="utf-8")
+
+    # Fully concurrent writes and reads: many interleavings to try,
+    # so --max-nodes 1 exhausts before any verdict.
+    wide = [op(f"p{i}", 0, "write", (i,), 0, 10) for i in range(4)]
+    wide += [op(f"q{i}", 0, "read", (), 0, 10, result=i)
+             for i in range(4)]
+    undecided = root / "undecided.jsonl"
+    undecided.write_text(
+        json.dumps([op_to_payload(o) for o in wide]) + "\n",
+        encoding="utf-8",
+    )
+    return {"ok": str(ok), "bad": str(bad), "undecided": str(undecided)}
+
+
+# One row per (subcommand, situation).  Each argv is chosen to be the
+# cheapest invocation that exercises that exit path.
+CONTRACT = [
+    # -- exit 0: completed clean ------------------------------------
+    ("sweep clean", ["sweep", "--smoke"], 0),
+    ("check clean", ["check", "--smoke"], 0),
+    ("fuzz expected violation",
+     ["fuzz", "--smoke", "--expect-violation"], 0),
+    ("stress clean",
+     ["stress", "--threads", "3", "--ops", "6", "--no-latency"], 0),
+    ("campaign clean", ["campaign", "run", "--smoke"], 0),
+    # -- exit 1: completed, violation found -------------------------
+    ("check violation",
+     ["check", "--scenario", "buggy-counter"], 1),
+    ("fuzz violation", ["fuzz", "--smoke"], 1),
+    ("fuzz missing expected violation",
+     ["fuzz", "--target", "alg1-w1-r1", "--schedules", "8",
+      "--batch", "8", "--expect-violation"], 1),
+    # -- exit 2: inconclusive (budget / undecided) ------------------
+    ("check budget partial",
+     ["check", "--scenario", "alg1-w2", "--max-executions", "5"], 2),
+    # -- exit 2: usage / input errors -------------------------------
+    ("sweep bad flag", ["sweep", "--no-such-flag"], 2),
+    ("check unknown scenario", ["check", "--scenario", "wat"], 2),
+    ("check smoke plus scenario",
+     ["check", "--smoke", "--scenario", "alg1-w1-r1"], 2),
+    ("fuzz unknown target", ["fuzz", "--target", "wat"], 2),
+    ("fuzz missing replay file",
+     ["fuzz", "--replay", "/nonexistent/trace.json"], 2),
+    ("stress unsupported fault family",
+     ["stress", "--runtime", "thread", "--faults", "partition",
+      "--ops", "4"], 2),
+    ("serve missing file", ["serve", "/nonexistent/events.jsonl"], 2),
+    ("lin missing file", ["lin", "/nonexistent/histories.jsonl"], 2),
+    ("campaign missing spec",
+     ["campaign", "run", "/nonexistent/spec.toml"], 2),
+    ("campaign no spec no smoke", ["campaign", "run"], 2),
+]
+
+
+@pytest.mark.parametrize(
+    "argv,expected",
+    [row[1:] for row in CONTRACT],
+    ids=[row[0] for row in CONTRACT],
+)
+def test_exit_code_contract(argv, expected, capsys):
+    assert run_main(argv) == expected
+
+
+class TestLinExitCodes:
+    def test_linearizable_is_0(self, history_files, capsys):
+        assert run_main(["lin", history_files["ok"]]) == 0
+
+    def test_violation_is_1(self, history_files, capsys):
+        assert run_main(["lin", history_files["bad"]]) == 1
+
+    def test_undecided_is_2(self, history_files, capsys):
+        assert run_main([
+            "lin", history_files["undecided"], "--max-nodes", "1",
+        ]) == 2
+
+
+class TestOutSemantics:
+    """Checkpoint subcommands leave --out byte-stable on rerun;
+    append subcommands grow it by one record per invocation."""
+
+    @pytest.mark.parametrize("argv_fn", [
+        lambda out: ["sweep", "--smoke", "--out", out],
+        lambda out: ["fuzz", "--target", "alg1-w1-r1", "--schedules",
+                     "8", "--batch", "8", "--out", out],
+        lambda out: ["campaign", "run", "--smoke", "--out", out],
+    ], ids=["sweep", "fuzz", "campaign"])
+    def test_checkpoint_out_is_byte_stable(
+        self, argv_fn, tmp_path, capsys
+    ):
+        out = str(tmp_path / "records.jsonl")
+        assert run_main(argv_fn(out)) == 0
+        import glob
+
+        paths = sorted(glob.glob(out + "*"))
+        assert paths
+        before = {p: open(p, "rb").read() for p in paths}
+        assert run_main(argv_fn(out)) == 0
+        assert {p: open(p, "rb").read() for p in paths} == before
+
+    def test_lin_checkpoint_out_is_byte_stable(
+        self, history_files, tmp_path, capsys
+    ):
+        out = str(tmp_path / "verdicts.jsonl")
+        argv = ["lin", history_files["ok"], "--out", out]
+        assert run_main(argv) == 0
+        before = open(out, "rb").read()
+        assert run_main(argv) == 0
+        assert open(out, "rb").read() == before
+
+    def test_stress_out_appends(self, tmp_path, capsys):
+        out = str(tmp_path / "stress.jsonl")
+        argv = ["stress", "--threads", "3", "--ops", "6",
+                "--no-latency", "--out", out]
+        assert run_main(argv) == 0
+        assert len(open(out, "rb").read().splitlines()) == 1
+        assert run_main(argv) == 0
+        assert len(open(out, "rb").read().splitlines()) == 2
+
+    def test_serve_out_appends(self, tmp_path, capsys):
+        from repro.rt import run_stress
+
+        events = str(tmp_path / "events.jsonl")
+        run_stress("register", threads=3, ops=6, seed=3,
+                   event_log=events, record_latency=False)
+        out = str(tmp_path / "verdict.jsonl")
+        argv = ["serve", events, "--out", out]
+        assert run_main(argv) == 0
+        lines = open(out, "rb").read().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "serve"
+        assert record["status"] == "ok"
+        assert run_main(argv) == 0
+        assert len(open(out, "rb").read().splitlines()) == 2

@@ -530,11 +530,19 @@ def test_process_stress_crash_fault_keeps_audit_exactness():
     assert check_audit_exactness(history, replica) == []
 
 
-def test_thread_stress_rejects_fault_plans():
-    with pytest.raises(ValueError, match="process"):
+def test_thread_stress_takes_crash_plans_but_not_message_families():
+    # The thread runtime now injects crash/delay at the primitive
+    # arrival point (tests/test_thread_faults.py); message-seam
+    # families still require the memory server.
+    report = run_stress(
+        "register", threads=2, ops=2,
+        faults=ScriptedFaultPlan({1: CrashDecision("w0")}),
+        record_latency=False,
+    )
+    assert report.ok
+    with pytest.raises(ValueError, match="process runtime"):
         run_stress(
-            "register", threads=2, ops=2,
-            faults=ScriptedFaultPlan({1: CrashDecision("w0")}),
+            "register", threads=2, ops=2, faults="partition,omit",
         )
 
 

@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.attacks",
     "repro.baselines",
+    "repro.campaign",
     "repro.core",
     "repro.crypto",
     "repro.harness",
